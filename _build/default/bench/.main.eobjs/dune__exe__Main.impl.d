@@ -1,0 +1,1 @@
+bench/main.ml: Arg Harness List Micro Printf

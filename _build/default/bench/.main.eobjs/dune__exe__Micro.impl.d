@@ -1,0 +1,1 @@
+bench/micro.ml: Analyze Bechamel Benchmark Depfast Hashtbl Instance List Measure Printf Raft Sim Staged Test Time Toolkit

@@ -1,0 +1,120 @@
+(** Bechamel microbenchmarks of the DepFast core primitives. *)
+
+open Bechamel
+open Toolkit
+
+let bench_event_fire =
+  Test.make ~name:"event: create+fire signal"
+    (Staged.stage (fun () ->
+         let ev = Depfast.Event.signal () in
+         Depfast.Event.fire ev))
+
+let bench_quorum_propagation =
+  Test.make ~name:"event: 5-child majority quorum fires"
+    (Staged.stage (fun () ->
+         let q = Depfast.Event.quorum Depfast.Event.Majority in
+         let children = List.init 5 (fun i -> Depfast.Event.rpc_completion ~peer:i ()) in
+         List.iter (fun c -> Depfast.Event.add q ~child:c) children;
+         List.iter Depfast.Event.fire children;
+         assert (Depfast.Event.is_ready q)))
+
+let bench_nested_stallers =
+  Test.make ~name:"event: stallers of 2PC-shaped tree"
+    (Staged.stage
+       (let shard base =
+          let q = Depfast.Event.quorum Depfast.Event.Majority in
+          for i = 0 to 2 do
+            Depfast.Event.add q ~child:(Depfast.Event.rpc_completion ~peer:(base + i) ())
+          done;
+          q
+        in
+        let all = Depfast.Event.and_ () in
+        Depfast.Event.add all ~child:(shard 0);
+        Depfast.Event.add all ~child:(shard 3);
+        fun () -> ignore (Depfast.Event.stallers all)))
+
+let bench_coroutine_spawn =
+  Test.make ~name:"sched: spawn+run 100 coroutines"
+    (Staged.stage (fun () ->
+         let engine = Sim.Engine.create () in
+         let sched = Depfast.Sched.create engine in
+         for _ = 1 to 100 do
+           Depfast.Sched.spawn sched (fun () -> Depfast.Sched.yield sched)
+         done;
+         Depfast.Sched.run sched))
+
+let bench_coroutine_wait =
+  Test.make ~name:"sched: 100 quorum waits over timers"
+    (Staged.stage (fun () ->
+         let engine = Sim.Engine.create () in
+         let sched = Depfast.Sched.create engine in
+         for _ = 1 to 100 do
+           Depfast.Sched.spawn sched (fun () ->
+               let q = Depfast.Event.quorum Depfast.Event.Majority in
+               Depfast.Event.add q ~child:(Depfast.Sched.timer sched 10);
+               Depfast.Event.add q ~child:(Depfast.Sched.timer sched 20);
+               Depfast.Event.add q ~child:(Depfast.Sched.timer sched 400);
+               Depfast.Sched.wait sched q)
+         done;
+         Depfast.Sched.run sched))
+
+let bench_engine_timers =
+  Test.make ~name:"engine: 1000 timers through the heap"
+    (Staged.stage (fun () ->
+         let engine = Sim.Engine.create () in
+         for i = 1 to 1000 do
+           ignore (Sim.Engine.schedule engine ~delay:(i mod 97) (fun () -> ()))
+         done;
+         Sim.Engine.run engine))
+
+let bench_hist =
+  Test.make ~name:"hist: add + p99 over 1000 samples"
+    (Staged.stage (fun () ->
+         let h = Sim.Hist.create () in
+         for i = 1 to 1000 do
+           Sim.Hist.add h (i * 37 mod 100_000)
+         done;
+         ignore (Sim.Hist.p99 h)))
+
+let bench_rlog =
+  Test.make ~name:"rlog: append+slice 1000 entries"
+    (Staged.stage (fun () ->
+         let log = Raft.Rlog.create () in
+         for i = 1 to 1000 do
+           Raft.Rlog.append log
+             { term = 1; index = i; cmd = Raft.Types.Nop; client_id = -1; seq = 0 }
+         done;
+         ignore (Raft.Rlog.slice log ~from:500 ~max:64)))
+
+let all_tests =
+  [
+    bench_event_fire;
+    bench_quorum_propagation;
+    bench_nested_stallers;
+    bench_coroutine_spawn;
+    bench_coroutine_wait;
+    bench_engine_timers;
+    bench_hist;
+    bench_rlog;
+  ]
+
+let run () =
+  Printf.printf "\n=== Microbenchmarks (bechamel) ===\n\n%!";
+  let instances = Instance.[ monotonic_clock ] in
+  let cfg = Benchmark.cfg ~limit:1000 ~quota:(Time.second 0.25) ~kde:(Some 1000) () in
+  List.iter
+    (fun test ->
+      let results =
+        Benchmark.all cfg instances (Test.make_grouped ~name:"g" [ test ])
+      in
+      let analyzed =
+        Analyze.all (Analyze.ols ~bootstrap:0 ~r_square:true ~predictors:[| Measure.run |])
+          Instance.monotonic_clock results
+      in
+      Hashtbl.iter
+        (fun name ols ->
+          match Analyze.OLS.estimates ols with
+          | Some [ est ] -> Printf.printf "%-45s %12.1f ns/run\n%!" name est
+          | _ -> Printf.printf "%-45s (no estimate)\n%!" name)
+        analyzed)
+    all_tests

@@ -1,0 +1,1 @@
+examples/fault_tolerance.ml: Cluster Depfast List Printf Raft Sim String Workload

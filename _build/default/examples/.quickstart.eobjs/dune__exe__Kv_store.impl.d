@@ -1,0 +1,1 @@
+examples/kv_store.ml: Cluster Depfast List Option Printf Raft Sim

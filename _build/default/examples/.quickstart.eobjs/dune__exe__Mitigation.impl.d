@@ -1,0 +1,1 @@
+examples/mitigation.ml: Cluster Depfast List Printf Raft Sim

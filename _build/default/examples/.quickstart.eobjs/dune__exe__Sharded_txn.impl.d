@@ -1,0 +1,1 @@
+examples/sharded_txn.ml: Cluster Depfast List Printf Raft Sim

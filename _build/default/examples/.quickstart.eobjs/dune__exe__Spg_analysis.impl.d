@@ -1,0 +1,1 @@
+examples/spg_analysis.ml: Cluster Depfast Format List Printf Raft Sim

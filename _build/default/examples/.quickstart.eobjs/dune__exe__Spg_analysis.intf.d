@@ -1,0 +1,1 @@
+examples/spg_analysis.mli:

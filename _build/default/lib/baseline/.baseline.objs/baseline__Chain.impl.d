@@ -1,0 +1,1 @@
+lib/baseline/chain.ml: Cluster Common Depfast List Queue Raft Workload

@@ -1,0 +1,1 @@
+lib/baseline/common.ml: Cluster Depfast Hashtbl List Printf Queue Raft Sim Workload

@@ -1,0 +1,1 @@
+lib/baseline/mongo_like.ml: Cluster Common Depfast Hashtbl List Option Queue Raft Sim Workload

@@ -1,0 +1,1 @@
+lib/baseline/rethink_like.ml: Cluster Common Depfast Hashtbl List Printf Queue Raft Workload

@@ -1,0 +1,1 @@
+lib/baseline/tidb_like.ml: Cluster Common Depfast Hashtbl List Queue Raft Workload

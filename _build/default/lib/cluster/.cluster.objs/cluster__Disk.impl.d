@@ -1,0 +1,1 @@
+lib/cluster/disk.ml: Depfast Printf Sim Station Time

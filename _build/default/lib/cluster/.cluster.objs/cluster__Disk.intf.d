@@ -1,0 +1,1 @@
+lib/cluster/disk.mli: Depfast Sim Station

@@ -1,0 +1,1 @@
+lib/cluster/fault.ml: Depfast Disk Memory Node Sim Station Time

@@ -1,0 +1,1 @@
+lib/cluster/memory.ml: List

@@ -1,0 +1,1 @@
+lib/cluster/net.ml: Depfast Dist Engine Hashtbl List Node Rng Sim Time

@@ -1,0 +1,1 @@
+lib/cluster/net.mli: Depfast Node Sim

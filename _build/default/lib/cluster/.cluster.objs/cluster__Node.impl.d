@@ -1,0 +1,1 @@
+lib/cluster/node.ml: Depfast Disk List Memory Printf Sim Station

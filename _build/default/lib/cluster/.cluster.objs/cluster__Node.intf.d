@@ -1,0 +1,1 @@
+lib/cluster/node.mli: Depfast Disk Memory Sim Station

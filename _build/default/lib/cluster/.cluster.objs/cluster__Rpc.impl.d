@@ -1,0 +1,1 @@
+lib/cluster/rpc.ml: Depfast Hashtbl List Memory Net Node Option Printf

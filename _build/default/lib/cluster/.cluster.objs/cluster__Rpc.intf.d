@@ -1,0 +1,1 @@
+lib/cluster/rpc.mli: Depfast Node Sim

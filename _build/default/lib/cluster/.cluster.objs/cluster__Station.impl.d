@@ -1,0 +1,1 @@
+lib/cluster/station.ml: Depfast Engine Queue Sim Time

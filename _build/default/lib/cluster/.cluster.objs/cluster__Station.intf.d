@@ -1,0 +1,1 @@
+lib/cluster/station.mli: Depfast Sim

@@ -1,0 +1,42 @@
+(** Per-node disk model.
+
+    A single-spindle FIFO station. A write costs a base access latency plus
+    transfer time at the current bandwidth; [fsync] additionally pays a
+    flush latency. The disk-slow fault scales bandwidth down (cgroup blkio
+    throttle); disk contention is a competing write stream submitted to the
+    same station, so the victim's writes queue behind it. *)
+
+type t
+
+val create :
+  Depfast.Sched.t ->
+  node_id:int ->
+  ?base_latency:Sim.Time.span ->
+  ?fsync_latency:Sim.Time.span ->
+  ?bandwidth_mb_s:float ->
+  unit ->
+  t
+(** Defaults model a cloud SSD: 80 us access, 150 us fsync, 200 MB/s. *)
+
+val write : t -> bytes:int -> Depfast.Event.t
+(** Completion event (kind [Disk]) for a buffered write of [bytes]. *)
+
+val fsync : t -> Depfast.Event.t
+(** Completion event for a flush. (The WAL issues write + fsync.) *)
+
+val read : t -> bytes:int -> Depfast.Event.t
+(** Completion event for reading [bytes] (same cost model as writes; used by
+    the TiDB-like baseline when the entry cache misses). *)
+
+val set_bandwidth_factor : t -> float -> unit
+(** Scale effective bandwidth by this factor (e.g. 0.05 = blkio-limited). *)
+
+val set_penalty : t -> (unit -> float) -> unit
+(** Memory-pressure hook (see {!Memory.penalty}). *)
+
+val station : t -> Station.t
+(** The underlying station — exposed so the contention fault injector can
+    submit a competing write stream. *)
+
+val bytes_per_us : t -> float
+(** Effective transfer rate, after the bandwidth factor. *)

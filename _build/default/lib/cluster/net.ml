@@ -1,0 +1,79 @@
+open Sim
+
+type 'msg endpoint = { node : Node.t; handler : src:int -> 'msg -> unit }
+
+type 'msg t = {
+  sched : Depfast.Sched.t;
+  latency : Dist.t;
+  rng : Rng.t;
+  endpoints : (int, 'msg endpoint) Hashtbl.t;
+  cuts : (int * int, unit) Hashtbl.t;
+  last_delivery : (int * int, Time.t) Hashtbl.t;  (* FIFO per directed link *)
+  mutable delivered : int;
+  mutable dropped : int;
+}
+
+let create sched ?(latency = Dist.Shifted (120.0, Dist.Exponential 30.0)) ?rng () =
+  let rng =
+    match rng with Some r -> r | None -> Engine.split_rng (Depfast.Sched.engine sched)
+  in
+  {
+    sched;
+    latency;
+    rng;
+    endpoints = Hashtbl.create 16;
+    cuts = Hashtbl.create 4;
+    last_delivery = Hashtbl.create 64;
+    delivered = 0;
+    dropped = 0;
+  }
+
+let register t node ~handler =
+  Hashtbl.replace t.endpoints (Node.id node) { node; handler }
+
+let node t id =
+  match Hashtbl.find_opt t.endpoints id with
+  | Some ep -> ep.node
+  | None -> raise Not_found
+
+let nodes t =
+  Hashtbl.fold (fun _ ep acc -> ep.node :: acc) t.endpoints []
+  |> List.sort (fun a b -> compare (Node.id a) (Node.id b))
+
+let cut_key a b = if a < b then (a, b) else (b, a)
+let partition t a b = Hashtbl.replace t.cuts (cut_key a b) ()
+let heal t a b = Hashtbl.remove t.cuts (cut_key a b)
+let partitioned t a b = Hashtbl.mem t.cuts (cut_key a b)
+
+let send t ~src ~dst msg =
+  match (Hashtbl.find_opt t.endpoints src, Hashtbl.find_opt t.endpoints dst) with
+  | Some sep, Some dep ->
+    if (not (Node.alive sep.node)) || partitioned t src dst then t.dropped <- t.dropped + 1
+    else begin
+      let delay =
+        Dist.sample_span t.rng t.latency
+        + Node.nic_delay sep.node + Node.nic_delay dep.node
+      in
+      (* links are TCP-like: delivery on a directed link is FIFO, so a
+         message never overtakes an earlier one *)
+      let engine = Depfast.Sched.engine t.sched in
+      let arrival = Time.add (Engine.now engine) delay in
+      let arrival =
+        match Hashtbl.find_opt t.last_delivery (src, dst) with
+        | Some prev when prev >= arrival -> Time.add prev 1
+        | Some _ | None -> arrival
+      in
+      Hashtbl.replace t.last_delivery (src, dst) arrival;
+      let delay = Time.diff arrival (Engine.now engine) in
+      ignore
+        (Engine.schedule engine ~delay (fun () ->
+             if Node.alive dep.node && not (partitioned t src dst) then begin
+               t.delivered <- t.delivered + 1;
+               dep.handler ~src msg
+             end
+             else t.dropped <- t.dropped + 1))
+    end
+  | _ -> t.dropped <- t.dropped + 1
+
+let delivered_count t = t.delivered
+let dropped_count t = t.dropped

@@ -1,0 +1,43 @@
+(** The simulated datacenter network.
+
+    Point-to-point message delivery with per-pair latency sampled from a
+    distribution, plus each endpoint's NIC delay (the `tc netem` fault adds
+    400 ms there). Supports partitions. Messages to or from dead or
+    partitioned nodes are silently dropped — as on a real network, senders
+    learn nothing. *)
+
+type 'msg t
+
+val create :
+  Depfast.Sched.t ->
+  ?latency:Sim.Dist.t ->
+  ?rng:Sim.Rng.t ->
+  unit ->
+  'msg t
+(** [latency] is the one-way delay in microseconds; default
+    [Shifted (120, Exponential 30)] — a ~150 us same-AZ RTT/2. *)
+
+val register : 'msg t -> Node.t -> handler:(src:int -> 'msg -> unit) -> unit
+(** Attach a node and its delivery handler. The handler runs as an engine
+    callback (not a coroutine); it should hand off to coroutines quickly. *)
+
+val node : 'msg t -> int -> Node.t
+(** @raise Not_found for unknown ids. *)
+
+val nodes : 'msg t -> Node.t list
+
+val send : 'msg t -> src:int -> dst:int -> 'msg -> unit
+(** Fire-and-forget. Sampled delay = latency + src NIC + dst NIC. Dropped if
+    either end is dead or the pair is partitioned (checked at delivery time
+    for dst, at send time for src). *)
+
+val partition : 'msg t -> int -> int -> unit
+(** Cut both directions between two nodes. *)
+
+val heal : 'msg t -> int -> int -> unit
+
+val partitioned : 'msg t -> int -> int -> bool
+
+val delivered_count : 'msg t -> int
+
+val dropped_count : 'msg t -> int

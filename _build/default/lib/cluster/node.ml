@@ -1,0 +1,50 @@
+type t = {
+  id : int;
+  name : string;
+  sched : Depfast.Sched.t;
+  cpu : Station.t;
+  disk : Disk.t;
+  memory : Memory.t;
+  mutable nic_delay : Sim.Time.span;
+  mutable alive : bool;
+  mutable crash_hooks : (unit -> unit) list;
+}
+
+let crash t =
+  if t.alive then begin
+    t.alive <- false;
+    List.iter (fun f -> f ()) (List.rev t.crash_hooks)
+  end
+
+let create sched ~id ~name ?(cpu_cores = 4) ?mem_soft_cap ?mem_hard_cap
+    ?(resident_bytes = 200 * 1024 * 1024) () =
+  let memory = Memory.create ?soft_cap:mem_soft_cap ?hard_cap:mem_hard_cap () in
+  (* the process's steady-state working set; memory faults cap against it *)
+  Memory.alloc memory resident_bytes;
+  let cpu = Station.create sched ~servers:cpu_cores ~name:(Printf.sprintf "cpu%d" id) () in
+  let disk = Disk.create sched ~node_id:id () in
+  Station.set_penalty cpu (fun () -> Memory.penalty memory);
+  Disk.set_penalty disk (fun () -> Memory.penalty memory);
+  let t =
+    { id; name; sched; cpu; disk; memory; nic_delay = 0; alive = true; crash_hooks = [] }
+  in
+  Memory.on_oom memory (fun () -> crash t);
+  t
+
+let id t = t.id
+let name t = t.name
+let sched t = t.sched
+let cpu t = t.cpu
+let disk t = t.disk
+let memory t = t.memory
+let nic_delay t = t.nic_delay
+let set_nic_delay t d = t.nic_delay <- d
+let alive t = t.alive
+let on_crash t f = t.crash_hooks <- f :: t.crash_hooks
+
+let cpu_work_event t work =
+  if not t.alive then Depfast.Event.signal ~label:"dead" ()
+  else Station.submit t.cpu ~work ()
+
+let cpu_work t work = Depfast.Sched.wait t.sched (cpu_work_event t work)
+let spawn t ?name f = Depfast.Sched.spawn t.sched ~node:t.id ?name f

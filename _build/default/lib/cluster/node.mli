@@ -1,0 +1,54 @@
+(** A simulated machine: CPU, disk, memory, NIC, liveness.
+
+    Matches the paper's testbed shape (Standard_D4s_v3: 4 vCPUs, 16 GB RAM,
+    SSD). All fail-slow faults are injected by mutating a node's resources
+    (see {!Fault}); protocol code never sees the fault directly — exactly as
+    in the real systems. *)
+
+type t
+
+val create :
+  Depfast.Sched.t ->
+  id:int ->
+  name:string ->
+  ?cpu_cores:int ->
+  ?mem_soft_cap:int ->
+  ?mem_hard_cap:int ->
+  ?resident_bytes:int ->
+  unit ->
+  t
+(** [cpu_cores] defaults to 4 (the paper's Standard_D4s_v3 shape);
+    [resident_bytes] (default 200 MiB) is the process's steady working set,
+    pre-charged to {!memory} so memory-cap faults create real pressure. *)
+
+val id : t -> int
+val name : t -> string
+val sched : t -> Depfast.Sched.t
+val cpu : t -> Station.t
+val disk : t -> Disk.t
+val memory : t -> Memory.t
+
+val nic_delay : t -> Sim.Time.span
+val set_nic_delay : t -> Sim.Time.span -> unit
+(** Extra one-way delay added to every message in and out of this node
+    (the `tc netem` fault). *)
+
+val alive : t -> bool
+
+val crash : t -> unit
+(** Mark the node dead and run crash hooks. Dead nodes drop all traffic and
+    process nothing. Memory OOM calls this automatically. *)
+
+val on_crash : t -> (unit -> unit) -> unit
+
+val cpu_work : t -> Sim.Time.span -> unit
+(** Coroutine-context helper: occupy one CPU core for the given nominal
+    work (inflated by the CPU speed factor and memory-pressure penalty) and
+    wait for it. No-op if the node is dead (the caller's coroutine simply
+    never resumes — dead machines do not return). *)
+
+val cpu_work_event : t -> Sim.Time.span -> Depfast.Event.t
+(** Non-blocking variant: returns the completion event. *)
+
+val spawn : t -> ?name:string -> (unit -> unit) -> unit
+(** Spawn a coroutine tagged with this node's id. *)

@@ -1,0 +1,128 @@
+type ('req, 'resp) frame =
+  | Req of { id : int; body : 'req }
+  | Resp of { id : int; body : 'resp }
+
+type 'resp call = {
+  call_id : int;
+  call_dst : int;
+  ev : Depfast.Event.t;
+  mutable resp : 'resp option;
+  mutable done_ : bool;  (* responded or abandoned: buffer released *)
+  release : unit -> unit;
+}
+
+type ('req, 'resp) t = {
+  sched : Depfast.Sched.t;
+  net : ('req, 'resp) frame Net.t;
+  calls : (int, 'resp call) Hashtbl.t;
+  handlers : (int, src:int -> 'req -> 'resp option) Hashtbl.t;
+  request_bytes : int;
+  mutable next_id : int;
+  mutable discard_stragglers : bool;
+  mutable discarded : int;
+  outstanding : (int, int) Hashtbl.t;  (* node id -> bytes charged *)
+}
+
+let create sched ?latency ?(request_bytes = 512) () =
+  {
+    sched;
+    net = Net.create sched ?latency ();
+    calls = Hashtbl.create 256;
+    handlers = Hashtbl.create 16;
+    request_bytes;
+    next_id = 0;
+    discard_stragglers = true;
+    discarded = 0;
+    outstanding = Hashtbl.create 16;
+  }
+
+let sched t = t.sched
+let partition t a b = Net.partition t.net a b
+let heal t a b = Net.heal t.net a b
+let set_discard_stragglers t b = t.discard_stragglers <- b
+let discarded_responses t = t.discarded
+
+let outstanding_bytes t ~node = Option.value ~default:0 (Hashtbl.find_opt t.outstanding node)
+
+let charge t node bytes =
+  Hashtbl.replace t.outstanding node (outstanding_bytes t ~node + bytes)
+
+let handle_frame t me ~src frame =
+  match frame with
+  | Req { id; body } -> (
+    match Hashtbl.find_opt t.handlers (Node.id me) with
+    | None -> ()
+    | Some handler ->
+      Node.spawn me ~name:"rpc.handler" (fun () ->
+          match handler ~src body with
+          | None -> ()
+          | Some resp ->
+            Net.send t.net ~src:(Node.id me) ~dst:src (Resp { id; body = resp })))
+  | Resp { id; body } -> (
+    match Hashtbl.find_opt t.calls id with
+    | None -> ()
+    | Some call ->
+      Hashtbl.remove t.calls id;
+      if call.done_ then t.discarded <- t.discarded + 1
+      else begin
+        call.resp <- Some body;
+        call.done_ <- true;
+        call.release ();
+        Depfast.Event.fire call.ev
+      end)
+
+let attach t node =
+  Net.register t.net node ~handler:(fun ~src frame -> handle_frame t node ~src frame)
+
+let serve t ~node ~handler =
+  attach t node;
+  Hashtbl.replace t.handlers (Node.id node) handler
+
+let call t ~src ~dst ?bytes body =
+  t.next_id <- t.next_id + 1;
+  let id = t.next_id in
+  let bytes = Option.value ~default:t.request_bytes bytes in
+  let src_id = Node.id src in
+  Memory.alloc (Node.memory src) bytes;
+  charge t src_id bytes;
+  let released = ref false in
+  let release () =
+    if not !released then begin
+      released := true;
+      Memory.free (Node.memory src) bytes;
+      charge t src_id (-bytes)
+    end
+  in
+  let ev =
+    Depfast.Event.rpc_completion ~label:(Printf.sprintf "rpc->%d" dst) ~peer:dst ()
+  in
+  let c = { call_id = id; call_dst = dst; ev; resp = None; done_ = false; release } in
+  Hashtbl.replace t.calls id c;
+  (* abandoning the event (e.g. enclosing quorum satisfied) frees the call *)
+  Depfast.Event.on_abandon ev (fun () ->
+      if not c.done_ then begin
+        c.done_ <- true;
+        release ()
+      end);
+  Net.send t.net ~src:src_id ~dst (Req { id; body });
+  c
+
+let event c = c.ev
+let response c = c.resp
+let dst c = c.call_dst
+
+let abandon c =
+  if not c.done_ then begin
+    c.done_ <- true;
+    c.release ();
+    Depfast.Event.abandon c.ev
+  end
+
+let broadcast t ~src ~dsts ~arity ?bytes ?(label = "broadcast") body =
+  let q = Depfast.Event.quorum ~label arity in
+  let calls = List.map (fun dst -> call t ~src ~dst ?bytes body) dsts in
+  List.iter (fun c -> Depfast.Event.add q ~child:c.ev) calls;
+  if t.discard_stragglers then
+    Depfast.Event.on_fire q (fun () ->
+        List.iter (fun c -> if not c.done_ then abandon c) calls);
+  (q, calls)

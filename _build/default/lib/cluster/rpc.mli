@@ -1,0 +1,72 @@
+(** RPC on the simulated network, integrated with DepFast events.
+
+    A call returns immediately with a {!call} handle whose {!event} fires
+    when the response arrives — the paper's [rpc_event]. Server handlers run
+    as coroutines on the destination node and may wait (CPU, disk, nested
+    RPCs).
+
+    {!broadcast} is the framework-aware primitive of §2.3: it sends the same
+    request to a set of replicas, hands back one {!Depfast.Event.t} quorum
+    event, and — when the quorum is satisfied — {e abandons} the straggler
+    calls, releasing their buffers instead of letting them back up. That
+    behaviour can be disabled per-RPC instance for the ablation study. *)
+
+type ('req, 'resp) t
+
+type 'resp call
+
+val create :
+  Depfast.Sched.t ->
+  ?latency:Sim.Dist.t ->
+  ?request_bytes:int ->
+  unit ->
+  ('req, 'resp) t
+(** [request_bytes] (default 512) is the per-call buffer size charged to the
+    caller's memory until the call completes or is abandoned. *)
+
+val sched : ('req, 'resp) t -> Depfast.Sched.t
+
+val attach : ('req, 'resp) t -> Node.t -> unit
+(** Register a node that only issues calls (a client): its responses are
+    routed but it serves no requests. *)
+
+val partition : ('req, 'resp) t -> int -> int -> unit
+val heal : ('req, 'resp) t -> int -> int -> unit
+
+val serve :
+  ('req, 'resp) t -> node:Node.t -> handler:(src:int -> 'req -> 'resp option) -> unit
+(** Install the node's request handler; it runs in a fresh coroutine per
+    request on the node, costs nothing unless it performs waits/CPU work,
+    and replies iff it returns [Some _]. Re-installing replaces. *)
+
+val call :
+  ('req, 'resp) t -> src:Node.t -> dst:int -> ?bytes:int -> 'req -> 'resp call
+(** Send a request. [bytes] overrides the per-call request buffer charge. *)
+
+val event : 'resp call -> Depfast.Event.t
+val response : 'resp call -> 'resp option
+val dst : 'resp call -> int
+
+val abandon : 'resp call -> unit
+(** Give up on the call: its buffer is freed, a late response is dropped. *)
+
+val broadcast :
+  ('req, 'resp) t ->
+  src:Node.t ->
+  dsts:int list ->
+  arity:Depfast.Event.arity ->
+  ?bytes:int ->
+  ?label:string ->
+  'req ->
+  Depfast.Event.t * 'resp call list
+(** Parallel calls to [dsts] plus a quorum event over their reply events.
+    With {!set_discard_stragglers} on (default), satisfying the quorum
+    abandons the unfinished calls. *)
+
+val set_discard_stragglers : ('req, 'resp) t -> bool -> unit
+
+val discarded_responses : ('req, 'resp) t -> int
+(** Responses that arrived after their call was abandoned. *)
+
+val outstanding_bytes : ('req, 'resp) t -> node:int -> int
+(** Call-buffer bytes currently charged to [node]. *)

@@ -1,0 +1,45 @@
+(** An m-server FIFO queueing station.
+
+    Models a contended hardware resource (CPU cores, a disk spindle): jobs
+    queue, up to [servers] are in service simultaneously, and service time is
+    the job's nominal work scaled by the station's current {e speed factor}
+    (1.0 = nominal; 20.0 = the cgroup-limited "5% CPU" fail-slow fault).
+
+    Completion is an {!Depfast.Event.t}, so coroutines wait on station work
+    like on any other wait point, and the tracer sees it. *)
+
+type t
+
+val create : Depfast.Sched.t -> ?servers:int -> name:string -> unit -> t
+(** [servers] defaults to 1. *)
+
+val name : t -> string
+val servers : t -> int
+
+val set_speed : t -> float -> unit
+(** Service-time multiplier for jobs {e starting} from now on. *)
+
+val speed : t -> float
+
+val set_penalty : t -> (unit -> float) -> unit
+(** Extra multiplicative latency sampled at each job start — used to apply
+    memory-pressure penalties. Default: [fun () -> 1.0]. *)
+
+val submit : t -> ?event:Depfast.Event.t -> work:Sim.Time.span -> unit -> Depfast.Event.t
+(** Enqueue a job of nominal duration [work]; the returned event fires when
+    it completes. [event] lets the caller supply the completion event (e.g.
+    a [Disk]-kind event for tracing); default is a fresh signal. *)
+
+val queue_length : t -> int
+(** Jobs waiting (excluding those in service). *)
+
+val busy_servers : t -> int
+
+val utilization : t -> float
+(** Mean fraction of servers busy since the last {!reset_stats} (or
+    creation), from the internal busy-time integral. *)
+
+val reset_stats : t -> unit
+(** Restart the utilization window and the completed-job counter. *)
+
+val completed_jobs : t -> int

@@ -1,0 +1,1 @@
+lib/core/condvar.ml: Event Sched

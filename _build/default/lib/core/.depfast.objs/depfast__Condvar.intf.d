@@ -1,0 +1,1 @@
+lib/core/condvar.mli: Event Sched Sim

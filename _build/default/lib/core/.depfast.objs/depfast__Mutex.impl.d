@@ -1,0 +1,1 @@
+lib/core/mutex.ml: Event Queue Sched

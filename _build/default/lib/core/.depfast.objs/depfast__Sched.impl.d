@@ -1,0 +1,1 @@
+lib/core/sched.ml: Effect Engine Event List Sim Time Trace

@@ -1,0 +1,1 @@
+lib/core/spg.ml: Buffer Format Hashtbl List Option Printf Trace

@@ -1,0 +1,1 @@
+lib/core/spg.mli: Format Trace

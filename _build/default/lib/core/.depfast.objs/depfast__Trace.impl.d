@@ -1,0 +1,1 @@
+lib/core/trace.ml: Event Format List Queue Sim String

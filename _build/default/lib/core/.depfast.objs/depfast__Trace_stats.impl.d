@@ -1,0 +1,1 @@
+lib/core/trace_stats.ml: Format Hashtbl List Option Printf Sim Trace

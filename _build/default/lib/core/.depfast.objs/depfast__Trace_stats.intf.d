@@ -1,0 +1,1 @@
+lib/core/trace_stats.mli: Format Sim Trace

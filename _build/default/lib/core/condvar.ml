@@ -1,0 +1,13 @@
+type t = { label : string; mutable current : Event.t }
+
+let fresh label = Event.signal ~label ()
+let create ?(label = "condvar") () = { label; current = fresh label }
+let wait sched t = Sched.wait sched t.current
+let wait_timeout sched t span = Sched.wait_timeout sched t.current span
+
+let broadcast t =
+  let ev = t.current in
+  t.current <- fresh t.label;
+  Event.fire ev
+
+let event t = t.current

@@ -1,0 +1,167 @@
+type kind = Signal | Timer | Rpc | Disk | Quorum | And_ | Or_
+
+type arity = Count of int | Majority | All | Any
+
+type t = {
+  id : int;
+  kind : kind;
+  label : string;
+  arity : arity;
+  peer_node : int option;
+  mutable ready : bool;
+  mutable abandoned : bool;
+  mutable children : t list;  (* reverse attachment order *)
+  mutable n_children : int;
+  mutable n_ready : int;
+  mutable parents : t list;
+  mutable fire_obs : (unit -> unit) list;
+  mutable abandon_obs : (unit -> unit) list;
+}
+
+let next_id = ref 0
+
+let make ?(label = "") ?peer kind arity =
+  incr next_id;
+  {
+    id = !next_id;
+    kind;
+    label;
+    arity;
+    peer_node = peer;
+    ready = false;
+    abandoned = false;
+    children = [];
+    n_children = 0;
+    n_ready = 0;
+    parents = [];
+    fire_obs = [];
+    abandon_obs = [];
+  }
+
+let id t = t.id
+let kind t = t.kind
+let label t = t.label
+let signal ?label () = make ?label Signal Any
+let rpc_completion ?label ~peer () = make ?label ~peer Rpc Any
+let disk_completion ?label ~node () = make ?label ~peer:node Disk Any
+let timer_kind ?label () = make ?label Timer Any
+let quorum ?label arity = make ?label Quorum arity
+let and_ ?label () = make ?label And_ All
+let or_ ?label () = make ?label Or_ Any
+let is_ready t = t.ready
+let is_abandoned t = t.abandoned
+let children t = List.rev t.children
+let ready_children t = t.n_ready
+let peer t = t.peer_node
+
+let is_compound t =
+  match t.kind with Quorum | And_ | Or_ -> true | Signal | Timer | Rpc | Disk -> false
+
+let required t =
+  if not (is_compound t) then 1
+  else
+    match t.arity with
+    | Count k -> k
+    | Majority -> (t.n_children / 2) + 1
+    | All -> t.n_children
+    | Any -> 1
+
+let run_observers obs =
+  List.iter (fun f -> f ()) (List.rev obs)
+
+(* mark [t] ready and propagate to parents; compounds with zero required
+   children fire as soon as checked *)
+let rec become_ready t =
+  if not t.ready then begin
+    t.ready <- true;
+    let obs = t.fire_obs in
+    t.fire_obs <- [];
+    run_observers obs;
+    List.iter child_became_ready t.parents
+  end
+
+and child_became_ready parent =
+  if not parent.ready then begin
+    parent.n_ready <- parent.n_ready + 1;
+    check_compound parent
+  end
+
+and check_compound t =
+  if (not t.ready) && is_compound t && t.n_children > 0 && t.n_ready >= required t then
+    become_ready t
+
+let fire t =
+  if is_compound t then invalid_arg "Event.fire: compound events fire via children";
+  if not t.abandoned then become_ready t
+
+let add parent ~child =
+  if not (is_compound parent) then invalid_arg "Event.add: not a compound event";
+  if parent.ready then invalid_arg "Event.add: parent already fired";
+  parent.children <- child :: parent.children;
+  parent.n_children <- parent.n_children + 1;
+  child.parents <- parent :: child.parents;
+  if child.ready then begin
+    parent.n_ready <- parent.n_ready + 1;
+    check_compound parent
+  end
+  else check_compound parent
+
+let on_fire t f = if t.ready then f () else t.fire_obs <- f :: t.fire_obs
+
+let rec abandon t =
+  if (not t.abandoned) && not t.ready then begin
+    t.abandoned <- true;
+    let obs = t.abandon_obs in
+    t.abandon_obs <- [];
+    run_observers obs;
+    (* abandoning a compound abandons children that no live parent still
+       awaits *)
+    List.iter
+      (fun child ->
+        if not (List.exists (fun p -> (not p.abandoned) && not p.ready) child.parents) then
+          abandon child)
+      t.children
+  end
+
+let on_abandon t f = if t.abandoned then f () else t.abandon_obs <- f :: t.abandon_obs
+
+let peers t =
+  let seen = Hashtbl.create 8 in
+  let out = ref [] in
+  let rec go e =
+    (match e.peer_node with
+    | Some p when not (Hashtbl.mem seen p) ->
+      Hashtbl.add seen p ();
+      out := p :: !out
+    | Some _ | None -> ());
+    List.iter go (List.rev e.children)
+  in
+  go t;
+  List.rev !out
+
+let stallers t =
+  (* a-priori structural analysis: readiness is ignored, the question is
+     whether the wait's shape gave node [p] the power to stall it *)
+  let rec can_stall p e =
+    if not (is_compound e) then e.peer_node = Some p
+    else
+      let stallable = List.length (List.filter (can_stall p) e.children) in
+      e.n_children - stallable < required e
+  in
+  List.filter (fun p -> can_stall p t) (peers t)
+
+let kind_name = function
+  | Signal -> "signal"
+  | Timer -> "timer"
+  | Rpc -> "rpc"
+  | Disk -> "disk"
+  | Quorum -> "quorum"
+  | And_ -> "and"
+  | Or_ -> "or"
+
+let pp fmt t =
+  Format.fprintf fmt "#%d:%s%s%s%s" t.id (kind_name t.kind)
+    (if t.label = "" then "" else "(" ^ t.label ^ ")")
+    (if is_compound t then Printf.sprintf "[%d/%d ready, need %d]" t.n_ready t.n_children (required t)
+     else "")
+    (if t.ready then "!" else if t.abandoned then "x" else "?")

@@ -1,0 +1,115 @@
+(** DepFast events: named wait points.
+
+    An event is a one-shot occurrence: it is created pending, {!fire}d at
+    most once (firing is idempotent), and stays ready forever after. Every
+    wait a program performs is a wait on some event, which is what makes
+    waits visible to the tracer and the fail-slow audit (§3.3 of the paper).
+
+    {b Basic events} ({!signal}) are fired by the framework: RPC completion,
+    disk-write completion, a condition becoming true.
+
+    {b Compound events} combine children. The paper's three compound types
+    are all arity-parameterised quorums over their children:
+    - [QuorumEvent] — ready when [k] of [n] children are ready;
+    - [AndEvent] — ready when all children are ready ([k = n]);
+    - [OrEvent] — ready when any child is ready ([k = 1]).
+
+    Children may themselves be compound (nesting, §3.2). Children can be
+    {!add}ed until the event fires; arities expressed as {!arity} are
+    re-evaluated against the current child count. *)
+
+type kind =
+  | Signal  (** plain framework-fired event *)
+  | Timer
+  | Rpc
+  | Disk
+  | Quorum
+  | And_
+  | Or_
+
+type arity =
+  | Count of int  (** exactly [k] children ready *)
+  | Majority  (** [n/2 + 1] of the current [n] children *)
+  | All
+  | Any
+
+type t
+
+val id : t -> int
+val kind : t -> kind
+val label : t -> string
+
+val signal : ?label:string -> unit -> t
+(** A basic event, fired later by whoever created it. *)
+
+val rpc_completion : ?label:string -> peer:int -> unit -> t
+(** A basic event standing for "reply from node [peer] arrived". The peer is
+    recorded so traces can attribute the wait to a remote node. *)
+
+val disk_completion : ?label:string -> node:int -> unit -> t
+(** A basic event standing for "local disk I/O on [node] finished". *)
+
+val timer_kind : ?label:string -> unit -> t
+(** A basic event fired by a timer. (Usually created via [Sched.timer].) *)
+
+val quorum : ?label:string -> arity -> t
+(** The paper's [QuorumEvent]. *)
+
+val and_ : ?label:string -> unit -> t
+(** The paper's [AndEvent]: ready when all children are. *)
+
+val or_ : ?label:string -> unit -> t
+(** The paper's [OrEvent]: ready when any child is. *)
+
+val add : t -> child:t -> unit
+(** [add parent ~child] attaches a child to a compound event. If the child
+    is already ready it counts immediately (and may fire [parent]).
+    @raise Invalid_argument on basic events or if [parent] already fired. *)
+
+val children : t -> t list
+(** Children in attachment order (compound events; [] for basic). *)
+
+val required : t -> int
+(** Number of ready children needed for a compound to fire, resolved
+    against the current child count; [1] for basic events. *)
+
+val peer : t -> int option
+(** Remote node this basic event depends on, if any. *)
+
+val peers : t -> int list
+(** All remote nodes the event transitively depends on (deduplicated). *)
+
+val stallers : t -> int list
+(** Remote nodes that can {e single-handedly} prevent the event from firing:
+    [p] stalls a basic event iff it is its peer, and stalls a compound iff,
+    with every [p]-independent child fired, the required count is still not
+    reached. A wait is fail-slow fault-tolerant iff this list is empty
+    (local waits aside) — the quantitative version of the paper's
+    "only QuorumEvent waits" rule. *)
+
+val is_ready : t -> bool
+
+val ready_children : t -> int
+
+val fire : t -> unit
+(** Mark a {b basic} event ready and propagate to compound parents.
+    Idempotent. @raise Invalid_argument on compound events (they fire only
+    via their children). *)
+
+val on_fire : t -> (unit -> unit) -> unit
+(** [on_fire t f]: run [f] when [t] fires (immediately if already ready).
+    Used by the scheduler to resume waiters and by the framework to cancel
+    straggler work once a quorum is met. *)
+
+val abandon : t -> unit
+(** Mark the event as no longer awaited (quorum satisfied elsewhere or wait
+    timed out); observers registered via {!on_abandon} run once. Firing an
+    abandoned event is a silent no-op. *)
+
+val on_abandon : t -> (unit -> unit) -> unit
+(** Framework hook: e.g. the RPC layer discards buffered messages for a
+    slow replica when the enclosing broadcast is abandoned (§2.3). *)
+
+val is_abandoned : t -> bool
+
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,30 @@
+type t = { label : string; mutable held : bool; queue : Event.t Queue.t }
+
+let create ?(label = "mutex") () = { label; held = false; queue = Queue.create () }
+
+let lock sched t =
+  if not t.held then t.held <- true
+  else begin
+    let ev = Event.signal ~label:t.label () in
+    Queue.add ev t.queue;
+    (* ownership is transferred by the firing unlock *)
+    Sched.wait sched ev
+  end
+
+let unlock t =
+  if not t.held then invalid_arg "Mutex.unlock: not locked";
+  if Queue.is_empty t.queue then t.held <- false
+  else Event.fire (Queue.pop t.queue)
+
+let with_lock sched t f =
+  lock sched t;
+  match f () with
+  | v ->
+    unlock t;
+    v
+  | exception e ->
+    unlock t;
+    raise e
+
+let locked t = t.held
+let waiters t = Queue.length t.queue

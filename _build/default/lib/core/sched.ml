@@ -1,0 +1,149 @@
+open Sim
+
+type ctx = { cid : int; node : int; name : string }
+
+type t = {
+  engine : Engine.t;
+  trace_rec : Trace.t;
+  mutable current : ctx option;
+  mutable next_cid : int;
+}
+
+type outcome = Ready | Timed_out
+
+type _ Effect.t +=
+  | E_wait : (t * Event.t * Time.span option) -> outcome Effect.t
+  | E_sleep : (t * Time.span) -> unit Effect.t
+  | E_yield : t -> unit Effect.t
+
+let create ?trace engine =
+  let trace_rec = match trace with Some tr -> tr | None -> Trace.create () in
+  { engine; trace_rec; current = None; next_cid = 0 }
+
+let engine t = t.engine
+let trace t = t.trace_rec
+let now t = Engine.now t.engine
+
+let current_node t = match t.current with Some c -> c.node | None -> -1
+let current_coroutine t = match t.current with Some c -> c.name | None -> ""
+
+let resume : type a. t -> ctx -> (a, unit) Effect.Deep.continuation -> a -> unit =
+ fun t ctx k v ->
+  let saved = t.current in
+  t.current <- Some ctx;
+  Effect.Deep.continue k v;
+  t.current <- saved
+
+let record_wait t ctx ev ~t_start ~outcome =
+  if Trace.is_enabled t.trace_rec then
+    let k, n =
+      match Event.kind ev with
+      | Event.Quorum | Event.And_ | Event.Or_ ->
+        (Event.required ev, List.length (Event.children ev))
+      | Event.Signal | Event.Timer | Event.Rpc | Event.Disk -> (1, 1)
+    in
+    Trace.record_wait t.trace_rec
+      {
+        Trace.cid = ctx.cid;
+        node = ctx.node;
+        coroutine = ctx.name;
+        event_id = Event.id ev;
+        event_kind = Event.kind ev;
+        event_label = Event.label ev;
+        quorum_k = k;
+        quorum_n = n;
+        peers = Event.peers ev;
+        stallers = Event.stallers ev;
+        t_start;
+        t_end = now t;
+        outcome = (match outcome with Ready -> Trace.Ready | Timed_out -> Trace.Timed_out);
+      }
+
+let rec spawn_ctx t ctx f =
+  Engine.post t.engine (fun () ->
+      let open Effect.Deep in
+      let saved = t.current in
+      t.current <- Some ctx;
+      match_with f ()
+        {
+          retc = (fun () -> ());
+          exnc = (fun e -> raise e);
+          effc =
+            (fun (type a) (eff : a Effect.t) ->
+              match eff with
+              | E_wait (st, ev, timeout) ->
+                Some
+                  (fun (k : (a, unit) continuation) ->
+                    wait_impl st ctx ev timeout k;
+                    st.current <- None)
+              | E_sleep (st, d) ->
+                Some
+                  (fun (k : (a, unit) continuation) ->
+                    ignore
+                      (Engine.schedule st.engine ~delay:d (fun () -> resume st ctx k ()));
+                    st.current <- None)
+              | E_yield st ->
+                Some
+                  (fun (k : (a, unit) continuation) ->
+                    Engine.post st.engine (fun () -> resume st ctx k ());
+                    st.current <- None)
+              | _ -> None);
+        };
+      t.current <- saved)
+
+and wait_impl :
+    t -> ctx -> Event.t -> Time.span option -> (outcome, unit) Effect.Deep.continuation -> unit
+    =
+ fun t ctx ev timeout k ->
+  let t_start = now t in
+  if Event.is_ready ev then begin
+    record_wait t ctx ev ~t_start ~outcome:Ready;
+    resume t ctx k Ready
+  end
+  else begin
+    let resumed = ref false in
+    let timer_h = ref None in
+    Event.on_fire ev (fun () ->
+        if not !resumed then begin
+          resumed := true;
+          (match !timer_h with Some h -> Engine.cancel t.engine h | None -> ());
+          Engine.post t.engine (fun () ->
+              record_wait t ctx ev ~t_start ~outcome:Ready;
+              resume t ctx k Ready)
+        end);
+    match timeout with
+    | None -> ()
+    | Some d ->
+      if not !resumed then
+        timer_h :=
+          Some
+            (Engine.schedule t.engine ~delay:d (fun () ->
+                 if not !resumed then begin
+                   resumed := true;
+                   record_wait t ctx ev ~t_start ~outcome:Timed_out;
+                   resume t ctx k Timed_out
+                 end))
+  end
+
+let spawn t ?(node = -1) ?(name = "coroutine") f =
+  t.next_cid <- t.next_cid + 1;
+  spawn_ctx t { cid = t.next_cid; node; name } f
+
+let spawn_here t ?name f =
+  let node = current_node t in
+  let name = match name with Some n -> n | None -> current_coroutine t ^ "/child" in
+  spawn t ~node ~name f
+
+let wait t ev =
+  match Effect.perform (E_wait (t, ev, None)) with Ready -> () | Timed_out -> assert false
+
+let wait_timeout t ev span = Effect.perform (E_wait (t, ev, Some span))
+let sleep t span = Effect.perform (E_sleep (t, span))
+let yield t = Effect.perform (E_yield t)
+
+let timer t span =
+  let ev = Event.timer_kind ~label:"timer" () in
+  ignore (Engine.schedule t.engine ~delay:span (fun () -> Event.fire ev));
+  ev
+
+let run ?until t = Engine.run ?until t.engine

@@ -1,0 +1,57 @@
+(** The DepFast runtime: coroutines + cooperative scheduler (§3.3).
+
+    Coroutines are implemented with OCaml 5 effect handlers: user code is
+    plain direct-style OCaml; {!wait}, {!sleep} and {!yield} perform effects
+    that suspend the coroutine and hand control back to the scheduler, which
+    resumes it when the awaited event fires. This is the library's answer to
+    callback spaghetti: logic reads synchronously, yet nothing blocks.
+
+    A scheduler drives one {!Sim.Engine.t}; in a simulation one scheduler
+    hosts the coroutines of every simulated node, each tagged with its node
+    id for tracing. *)
+
+type t
+
+val create : ?trace:Trace.t -> Sim.Engine.t -> t
+val engine : t -> Sim.Engine.t
+val trace : t -> Trace.t
+
+val spawn : t -> ?node:int -> ?name:string -> (unit -> unit) -> unit
+(** Start a coroutine. [node] tags it for tracing (inherited by coroutines
+    it spawns if they pass no tag of their own — see {!spawn_here}).
+    The body runs when the engine next dispatches; exceptions escaping the
+    body abort the simulation. *)
+
+val spawn_here : t -> ?name:string -> (unit -> unit) -> unit
+(** Spawn inheriting the calling coroutine's node tag. Must be called from
+    inside a coroutine. *)
+
+type outcome = Ready | Timed_out
+
+(** Operations below must run inside a coroutine of this scheduler. *)
+
+val wait : t -> Event.t -> unit
+(** Suspend until the event fires (returns immediately if already ready). *)
+
+val wait_timeout : t -> Event.t -> Sim.Time.span -> outcome
+(** Like {!wait} with an upper bound. On [Timed_out] the event is left
+    pending (not abandoned); callers decide (see [Event.abandon]). *)
+
+val sleep : t -> Sim.Time.span -> unit
+
+val yield : t -> unit
+(** Reschedule behind other runnable work at the same instant. *)
+
+val timer : t -> Sim.Time.span -> Event.t
+(** An event that fires after the given delay. *)
+
+val current_node : t -> int
+(** Node tag of the running coroutine; -1 outside coroutines/untagged. *)
+
+val current_coroutine : t -> string
+(** Name of the running coroutine, [""] outside one. *)
+
+val now : t -> Sim.Time.t
+
+val run : ?until:Sim.Time.t -> t -> unit
+(** Drive the engine (see {!Sim.Engine.run}). *)

@@ -1,0 +1,84 @@
+type color = Red | Green
+
+type edge = {
+  src : int;
+  dst : int;
+  quorum_k : int;
+  quorum_n : int;
+  color : color;
+  count : int;
+}
+
+type t = { edge_tbl : (int * int * int * int, int) Hashtbl.t }
+
+let of_trace trace =
+  let edge_tbl = Hashtbl.create 64 in
+  Trace.iter trace (fun w ->
+      let k = w.Trace.quorum_k and n = w.Trace.quorum_n in
+      List.iter
+        (fun peer ->
+          if peer <> w.Trace.node then begin
+            let key = (w.Trace.node, peer, k, n) in
+            let prev = Option.value ~default:0 (Hashtbl.find_opt edge_tbl key) in
+            Hashtbl.replace edge_tbl key (prev + 1)
+          end)
+        w.Trace.peers);
+  { edge_tbl }
+
+let edges t =
+  Hashtbl.fold
+    (fun (src, dst, quorum_k, quorum_n) count acc ->
+      let color = if quorum_k >= quorum_n then Red else Green in
+      { src; dst; quorum_k; quorum_n; color; count } :: acc)
+    t.edge_tbl []
+  |> List.sort (fun a b ->
+         compare (a.src, a.dst, a.quorum_k, a.quorum_n) (b.src, b.dst, b.quorum_k, b.quorum_n))
+
+let nodes t =
+  let seen = Hashtbl.create 16 in
+  Hashtbl.iter
+    (fun (src, dst, _, _) _ ->
+      Hashtbl.replace seen src ();
+      Hashtbl.replace seen dst ())
+    t.edge_tbl;
+  List.sort compare (Hashtbl.fold (fun n () acc -> n :: acc) seen [])
+
+let default_name n = "n" ^ string_of_int n
+
+let to_dot ?(node_name = default_name) t =
+  let buf = Buffer.create 512 in
+  Buffer.add_string buf "digraph spg {\n  rankdir=LR;\n";
+  List.iter
+    (fun n -> Buffer.add_string buf (Printf.sprintf "  %s;\n" (node_name n)))
+    (nodes t);
+  List.iter
+    (fun e ->
+      Buffer.add_string buf
+        (Printf.sprintf "  %s -> %s [label=\"%d/%d\", color=%s];\n" (node_name e.src)
+           (node_name e.dst) e.quorum_k e.quorum_n
+           (match e.color with Red -> "red" | Green -> "green")))
+    (edges t);
+  Buffer.add_string buf "}\n";
+  Buffer.contents buf
+
+let pp ?(node_name = default_name) fmt t =
+  List.iter
+    (fun e ->
+      Format.fprintf fmt "%s -> %s  %d/%d %s (%d waits)@." (node_name e.src) (node_name e.dst)
+        e.quorum_k e.quorum_n
+        (match e.color with Red -> "RED" | Green -> "green")
+        e.count)
+    (edges t)
+
+type violation = { v_wait : Trace.wait; v_peer : int }
+
+let audit ?(allow = fun ~node:_ -> false) trace =
+  let out = ref [] in
+  Trace.iter trace (fun w ->
+      if not (allow ~node:w.Trace.node) then
+        List.iter
+          (fun p -> if p <> w.Trace.node then out := { v_wait = w; v_peer = p } :: !out)
+          w.Trace.stallers);
+  List.rev !out
+
+let is_fail_slow_tolerant ?allow trace = audit ?allow trace = []

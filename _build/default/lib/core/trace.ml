@@ -1,0 +1,47 @@
+type outcome = Ready | Timed_out
+
+type wait = {
+  cid : int;
+  node : int;
+  coroutine : string;
+  event_id : int;
+  event_kind : Event.kind;
+  event_label : string;
+  quorum_k : int;
+  quorum_n : int;
+  peers : int list;
+  stallers : int list;
+  t_start : Sim.Time.t;
+  t_end : Sim.Time.t;
+  outcome : outcome;
+}
+
+type t = {
+  mutable enabled : bool;
+  records : wait Queue.t;
+  mutable subscribers : (wait -> unit) list;
+}
+
+let create ?(enabled = false) () = { enabled; records = Queue.create (); subscribers = [] }
+let enable t = t.enabled <- true
+let disable t = t.enabled <- false
+let is_enabled t = t.enabled
+
+let record_wait t w =
+  if t.enabled then begin
+    Queue.add w t.records;
+    List.iter (fun f -> f w) t.subscribers
+  end
+
+let waits t = List.of_seq (Queue.to_seq t.records)
+let wait_count t = Queue.length t.records
+let clear t = Queue.clear t.records
+let iter t f = Queue.iter f t.records
+let on_wait t f = t.subscribers <- f :: t.subscribers
+
+let pp_wait fmt w =
+  Format.fprintf fmt "[%a-%a] c%d@n%d %s waits #%d %s %d/%d peers=[%s] %s" Sim.Time.pp
+    w.t_start Sim.Time.pp w.t_end w.cid w.node w.coroutine w.event_id w.event_label
+    w.quorum_k w.quorum_n
+    (String.concat "," (List.map string_of_int w.peers))
+    (match w.outcome with Ready -> "ready" | Timed_out -> "timeout")

@@ -1,0 +1,49 @@
+(** Event trace points (§3.3).
+
+    Every wait executed by a coroutine is recorded with the identity of the
+    waiter (coroutine + node), the event waited on, its quorum arity at wait
+    time, the remote peers it depends on, and the wait's duration and
+    outcome. Traces feed the slowness propagation graph ({!Spg}) and the
+    fail-slow audit, and are the hook for the paper's §5 failure
+    detectors. *)
+
+type outcome = Ready | Timed_out
+
+type wait = {
+  cid : int;  (** waiting coroutine *)
+  node : int;  (** node the coroutine runs on; -1 if untagged *)
+  coroutine : string;  (** coroutine name *)
+  event_id : int;
+  event_kind : Event.kind;
+  event_label : string;
+  quorum_k : int;  (** children needed (1 for basic events) *)
+  quorum_n : int;  (** children attached (1 for basic events) *)
+  peers : int list;  (** remote nodes the event depends on *)
+  stallers : int list;  (** remote nodes able to single-handedly stall it *)
+  t_start : Sim.Time.t;
+  t_end : Sim.Time.t;
+  outcome : outcome;
+}
+
+type t
+
+val create : ?enabled:bool -> unit -> t
+val enable : t -> unit
+val disable : t -> unit
+val is_enabled : t -> bool
+
+val record_wait : t -> wait -> unit
+
+val waits : t -> wait list
+(** In recording order. *)
+
+val wait_count : t -> int
+val clear : t -> unit
+
+val iter : t -> (wait -> unit) -> unit
+
+val on_wait : t -> (wait -> unit) -> unit
+(** Streaming subscription: called for every subsequent recorded wait. Used
+    by online failure detectors. *)
+
+val pp_wait : Format.formatter -> wait -> unit

@@ -1,0 +1,54 @@
+type key = By_label | By_node | By_edge
+
+type cell = { hist : Sim.Hist.t; mutable timeouts : int }
+
+type t = { key : key; cells : (string, cell) Hashtbl.t }
+
+let create key = { key; cells = Hashtbl.create 32 }
+
+let cell_of t name =
+  match Hashtbl.find_opt t.cells name with
+  | Some c -> c
+  | None ->
+    let c = { hist = Sim.Hist.create (); timeouts = 0 } in
+    Hashtbl.replace t.cells name c;
+    c
+
+let names_of t (w : Trace.wait) =
+  match t.key with
+  | By_label -> [ (if w.event_label = "" then "(unnamed)" else w.event_label) ]
+  | By_node -> [ Printf.sprintf "n%d" w.node ]
+  | By_edge ->
+    List.filter_map
+      (fun p ->
+        if p = w.node then None else Some (Printf.sprintf "n%d->n%d" w.node p))
+      w.peers
+
+let observe t w =
+  let duration = Sim.Time.diff w.Trace.t_end w.Trace.t_start in
+  List.iter
+    (fun name ->
+      let c = cell_of t name in
+      Sim.Hist.add c.hist duration;
+      if w.Trace.outcome = Trace.Timed_out then c.timeouts <- c.timeouts + 1)
+    (names_of t w)
+
+let attach t trace = Trace.on_wait trace (observe t)
+
+let of_trace key trace =
+  let t = create key in
+  Trace.iter trace (observe t);
+  t
+
+let keys t = List.sort compare (Hashtbl.fold (fun k _ acc -> k :: acc) t.cells [])
+let histogram t name = Option.map (fun c -> c.hist) (Hashtbl.find_opt t.cells name)
+let timeouts t name = match Hashtbl.find_opt t.cells name with Some c -> c.timeouts | None -> 0
+
+let pp fmt t =
+  List.iter
+    (fun name ->
+      match Hashtbl.find_opt t.cells name with
+      | None -> ()
+      | Some c ->
+        Format.fprintf fmt "%-24s %a timeouts=%d@." name Sim.Hist.pp_summary c.hist c.timeouts)
+    (keys t)

@@ -1,0 +1,1 @@
+lib/harness/ablation.ml: Baseline Cluster Depfast List Params Printf Raft Runner Sim String Workload

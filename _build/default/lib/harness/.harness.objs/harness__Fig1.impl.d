@@ -1,0 +1,1 @@
+lib/harness/fig1.ml: Cluster List Params Printf Runner String Workload

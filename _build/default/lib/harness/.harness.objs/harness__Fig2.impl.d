@@ -1,0 +1,1 @@
+lib/harness/fig2.ml: Cluster Depfast Format List Printf Raft Sim

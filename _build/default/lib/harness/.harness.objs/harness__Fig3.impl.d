@@ -1,0 +1,1 @@
+lib/harness/fig3.ml: Cluster Float List Params Printf Raft Runner String Workload

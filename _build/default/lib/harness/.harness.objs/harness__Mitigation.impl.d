@@ -1,0 +1,1 @@
+lib/harness/mitigation.ml: Cluster Depfast List Params Printf Raft Runner Sim Workload

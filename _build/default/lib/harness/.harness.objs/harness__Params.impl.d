@@ -1,0 +1,1 @@
+lib/harness/params.ml: Sim Workload

@@ -1,0 +1,1 @@
+lib/harness/runner.ml: Baseline Cluster Depfast List Params Raft Sim Workload

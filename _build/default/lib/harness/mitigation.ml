@@ -1,0 +1,81 @@
+(** §5 extension: fail-slow leader detection + mitigation via leadership
+    transfer.
+
+    A CPU fail-slow fault is injected into the {e leader} mid-run. Without
+    mitigation, every request suffers (the known algorithmic weakness of
+    leader-based consensus — cf. Copilot). With the detector attached, the
+    commit-latency trace signal crosses the threshold, leadership transfers
+    to a healthy follower, and throughput recovers; the fail-slow node keeps
+    serving as a follower, which DepFastRaft tolerates. *)
+
+type phase = { label : string; metrics : Workload.Metrics.t }
+
+type result = {
+  variant : string;
+  phases : phase list;  (** before / during+after fault *)
+  mitigated : int;  (** leadership transfers triggered *)
+  detect_ms : float;  (** fault injection -> transfer, ms (-1 if none) *)
+}
+
+let run_variant ?(params = Params.full) ~with_detector () =
+  let engine = Sim.Engine.create ~seed:params.Params.seed () in
+  let sched = Depfast.Sched.create engine in
+  let cfg = Raft.Config.default in
+  let g = Raft.Group.create sched ~n:3 ~cfg () in
+  Depfast.Sched.spawn sched ~name:"bootstrap" (fun () -> Raft.Group.elect g 0);
+  Depfast.Sched.run ~until:(Sim.Time.sec 1) sched;
+  let detectors =
+    if with_detector then List.map (fun s -> Raft.Detector.attach s ()) g.Raft.Group.servers
+    else []
+  in
+  let leader_node = Raft.Server.node (Raft.Group.server g 0) in
+  let clients = Runner.clients_of_group g ~count:params.Params.clients in
+  (* phase 1: healthy *)
+  let healthy =
+    Workload.Driver.run sched ~clients ~workload:(Params.workload params)
+      ~warmup:params.Params.warmup ~duration:params.Params.duration ~leader_node ()
+  in
+  (* inject the fault into the CURRENT leader *)
+  let injected_at = Sim.Engine.now engine in
+  ignore (Cluster.Fault.inject leader_node Cluster.Fault.Cpu_slow);
+  let faulty =
+    Workload.Driver.run sched ~clients ~workload:(Params.workload params)
+      ~warmup:(Sim.Time.ms 200) ~duration:params.Params.duration ~leader_node ()
+  in
+  let mitigated = List.fold_left (fun acc d -> acc + Raft.Detector.mitigations d) 0 detectors in
+  let detect_ms =
+    if mitigated > 0 then
+      (* approximate: when a non-initial leader first shows up *)
+      match Raft.Group.leader g with
+      | Some s when Raft.Server.id s <> 0 ->
+        Sim.Time.to_ms_f (Sim.Time.diff (Sim.Engine.now engine) injected_at)
+      | _ -> -1.0
+    else -1.0
+  in
+  {
+    variant = (if with_detector then "with detector + transfer" else "no mitigation");
+    phases = [ { label = "healthy"; metrics = healthy }; { label = "leader fail-slow"; metrics = faulty } ];
+    mitigated;
+    detect_ms;
+  }
+
+let run ?params () =
+  [ run_variant ?params ~with_detector:false (); run_variant ?params ~with_detector:true () ]
+
+let print ?params () =
+  Printf.printf
+    "\n=== Mitigation (§5): fail-slow LEADER, detector + leadership transfer ===\n\n";
+  List.iter
+    (fun r ->
+      Printf.printf "%s:\n" r.variant;
+      List.iter
+        (fun p ->
+          Printf.printf "  %-18s %9.0f tput/s, avg %8.2f ms, p99 %8.2f ms\n" p.label
+            (Workload.Metrics.throughput p.metrics)
+            (Workload.Metrics.mean_latency_ms p.metrics)
+            (Workload.Metrics.p99_latency_ms p.metrics))
+        r.phases;
+      if r.mitigated > 0 then
+        Printf.printf "  leadership transfers: %d\n" r.mitigated;
+      Printf.printf "\n")
+    (run ?params ())

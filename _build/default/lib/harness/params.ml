@@ -1,0 +1,38 @@
+(** Experiment parameters.
+
+    [full] follows the paper's §2.1 methodology (YCSB update workload over
+    500K records, hundreds of closed-loop clients, leader around 75% CPU);
+    [quick] shrinks everything for CI and unit tests. *)
+
+type t = {
+  seed : int64;
+  clients : int;
+  warmup : Sim.Time.span;
+  duration : Sim.Time.span;
+  records : int;
+  value_size : int;
+}
+
+let full =
+  {
+    seed = 7L;
+    clients = 48;
+    warmup = Sim.Time.sec 2;
+    duration = Sim.Time.sec 12;
+    records = 500_000;
+    value_size = 1024;
+  }
+
+let quick =
+  {
+    seed = 7L;
+    clients = 64;
+    warmup = Sim.Time.ms 500;
+    duration = Sim.Time.sec 3;
+    records = 10_000;
+    value_size = 1024;
+  }
+
+let workload t =
+  Workload.Ycsb.scaled ~records:t.records ~value_size:t.value_size
+    Workload.Ycsb.update_heavy

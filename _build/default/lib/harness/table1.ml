@@ -1,0 +1,16 @@
+(** Table 1: the fail-slow fault-injection catalog, with both the paper's
+    injection method and this repo's simulator mapping. *)
+
+let rows () =
+  List.map
+    (fun k -> (Cluster.Fault.name k, Cluster.Fault.paper_injection k, Cluster.Fault.sim_injection k))
+    Cluster.Fault.all
+
+let print () =
+  Printf.printf "\n=== Table 1: simulated fail-slow faults ===\n\n";
+  Printf.printf "%-20s | %-72s | %s\n" "Fail-slow type" "Paper's fault injection"
+    "Simulator mapping";
+  Printf.printf "%s\n" (String.make 160 '-');
+  List.iter
+    (fun (name, paper, sim) -> Printf.printf "%-20s | %-72s | %s\n" name paper sim)
+    (rows ())

@@ -1,0 +1,1 @@
+lib/raft/client.pp.ml: Array Cluster Config Depfast Sim Types

@@ -1,0 +1,1 @@
+lib/raft/client.pp.mli: Cluster Config Types

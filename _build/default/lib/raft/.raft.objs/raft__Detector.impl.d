@@ -1,0 +1,1 @@
+lib/raft/detector.pp.ml: Cluster Depfast List Server Sim

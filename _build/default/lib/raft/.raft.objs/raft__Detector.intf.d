@@ -1,0 +1,1 @@
+lib/raft/detector.pp.mli: Server Sim

@@ -1,0 +1,1 @@
+lib/raft/group.pp.ml: Client Cluster Config Depfast List Printf Server Sim

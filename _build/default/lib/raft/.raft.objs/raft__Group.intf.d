@@ -1,0 +1,1 @@
+lib/raft/group.pp.mli: Client Cluster Config Depfast Server Sim

@@ -1,0 +1,1 @@
+lib/raft/kv.pp.ml: Hashtbl List Option Types

@@ -1,0 +1,1 @@
+lib/raft/kv.pp.mli: Types

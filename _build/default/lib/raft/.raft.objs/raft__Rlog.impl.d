@@ -1,0 +1,1 @@
+lib/raft/rlog.pp.ml: Array List Printf Types

@@ -1,0 +1,1 @@
+lib/raft/rlog.pp.mli: Types

@@ -1,0 +1,1 @@
+lib/raft/server.pp.ml: Cluster Config Depfast Dist Engine Hashtbl Kv List Option Printf Queue Rlog Rng Sim Time Types

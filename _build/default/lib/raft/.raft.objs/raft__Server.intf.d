@@ -1,0 +1,1 @@
+lib/raft/server.pp.mli: Cluster Config Kv Rlog Types

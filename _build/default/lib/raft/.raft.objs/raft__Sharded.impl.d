@@ -1,0 +1,1 @@
+lib/raft/sharded.pp.ml: Array Client Cluster Config Depfast Group Hashtbl List Option Printf Server Sim Types

@@ -1,0 +1,1 @@
+lib/raft/sharded.pp.mli: Cluster Config Depfast Group

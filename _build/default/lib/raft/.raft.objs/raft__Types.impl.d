@@ -1,0 +1,1 @@
+lib/raft/types.pp.ml: List Ppx_deriving_runtime String

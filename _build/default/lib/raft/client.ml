@@ -1,0 +1,96 @@
+open Types
+
+type t = {
+  rpc : (Types.req, Types.resp) Cluster.Rpc.t;
+  node : Cluster.Node.t;
+  sched : Depfast.Sched.t;
+  servers : int array;
+  cfg : Config.t;
+  client_id : int;
+  rng : Sim.Rng.t;
+  mutable seq : int;
+  mutable leader_hint : int option;
+  mutable attempted : int;
+  mutable failed : int;
+}
+
+let create rpc node ~servers ?(cfg = Config.default) ~id () =
+  {
+    rpc;
+    node;
+    sched = Cluster.Node.sched node;
+    servers = Array.of_list servers;
+    cfg;
+    client_id = id;
+    rng = Sim.Engine.split_rng (Depfast.Sched.engine (Cluster.Node.sched node));
+    seq = 0;
+    leader_hint = None;
+    attempted = 0;
+    failed = 0;
+  }
+
+let id t = t.client_id
+let node t = t.node
+
+let target t =
+  match t.leader_hint with
+  | Some s -> s
+  | None -> Sim.Rng.pick t.rng t.servers
+
+(* one command, retried across leader changes; same seq = exactly-once *)
+let submit t cmd =
+  t.seq <- t.seq + 1;
+  t.attempted <- t.attempted + 1;
+  let seq = t.seq in
+  let max_attempts = 8 in
+  let rec attempt k =
+    if k >= max_attempts then begin
+      t.failed <- t.failed + 1;
+      None
+    end
+    else begin
+      let dst = target t in
+      let call =
+        Cluster.Rpc.call t.rpc ~src:t.node ~dst
+          (Client_request { cmd; client_id = t.client_id; seq })
+      in
+      (* per-attempt budget: a leader that cannot answer within two RPC
+         timeouts has likely crashed or lost its quorum; retrying elsewhere
+         is safe because the sequence number deduplicates *)
+      match
+        Depfast.Sched.wait_timeout t.sched (Cluster.Rpc.event call)
+          (2 * t.cfg.Config.rpc_timeout)
+      with
+      | Depfast.Sched.Timed_out ->
+        Cluster.Rpc.abandon call;
+        t.leader_hint <- None;
+        attempt (k + 1)
+      | Depfast.Sched.Ready -> (
+        match Cluster.Rpc.response call with
+        | Some (Client_resp { ok = true; leader_hint; value }) ->
+          t.leader_hint <- leader_hint;
+          Some value
+        | Some (Client_resp { ok = false; leader_hint; _ }) ->
+          (match leader_hint with
+          | Some h when Some h <> Some dst -> t.leader_hint <- leader_hint
+          | _ -> t.leader_hint <- None);
+          (* back off briefly before retrying (election may be in flight) *)
+          Depfast.Sched.sleep t.sched (Sim.Time.ms (5 * (k + 1)));
+          attempt (k + 1)
+        | Some _ | None ->
+          t.leader_hint <- None;
+          attempt (k + 1))
+    end
+  in
+  attempt 0
+
+let command t cmd = submit t cmd
+
+let put t ~key ~value =
+  match submit t (Put { key; value }) with Some _ -> true | None -> false
+
+let get t ~key =
+  match submit t (Get { key }) with Some v -> Some v | None -> None
+
+let ops_attempted t = t.attempted
+let ops_failed t = t.failed

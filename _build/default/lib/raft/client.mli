@@ -1,0 +1,44 @@
+(** RSM client: leader discovery, retries, exactly-once sessions.
+
+    A client is a coroutine-side handle bound to a client {!Cluster.Node.t}.
+    Operations block the calling coroutine until the command commits (or
+    retries are exhausted). Retries reuse the same sequence number, so the
+    server-side session dedup keeps them exactly-once.
+
+    Per the paper's Figure 2, the client's wait on the leader is a {e red}
+    1/1 edge — an accepted single-point wait outside the replication
+    quorums. *)
+
+type t
+
+val create :
+  (Types.req, Types.resp) Cluster.Rpc.t ->
+  Cluster.Node.t ->
+  servers:int list ->
+  ?cfg:Config.t ->
+  id:int ->
+  unit ->
+  t
+(** The client node must already be attached to the RPC fabric
+    ([Cluster.Rpc.attach]). *)
+
+val id : t -> int
+
+val node : t -> Cluster.Node.t
+(** The node hosting this client's coroutines. *)
+
+val command : t -> Types.command -> string option option
+(** Submit any state-machine command through the log (used by the 2PC
+    coordinator). [None] = failed; [Some r] = committed with apply result
+    [r]. Blocking; coroutine context. *)
+
+val put : t -> key:string -> value:string -> bool
+(** Blocking update; [true] iff committed. Must run inside a coroutine on
+    the client's node. *)
+
+val get : t -> key:string -> string option option
+(** Blocking linearizable read through the log. [None] = failed;
+    [Some v] = committed, [v] is the value (or [None] if key absent). *)
+
+val ops_attempted : t -> int
+val ops_failed : t -> int

@@ -1,0 +1,73 @@
+(** Timing and cost model for the RSM implementations.
+
+    The CPU costs are calibrated (see DESIGN.md §6) so that a 3-node
+    DepFastRaft under the paper's YCSB-style closed-loop write workload
+    serves ≈5K requests/second with the leader around 75% CPU — the §3.4
+    operating point. All implementations share this model; they differ only
+    in {e how they wait}. *)
+
+open Sim
+
+type t = {
+  (* Raft timing *)
+  election_timeout_min : Time.span;
+  election_timeout_max : Time.span;
+  heartbeat_interval : Time.span;
+  batch_max : int;  (** max entries per AppendEntries *)
+  group_commit_window : Time.span;  (** how long an idle leader waits for work *)
+  rpc_timeout : Time.span;
+  client_timeout : Time.span;
+  (* CPU cost model, nominal core-microseconds *)
+  cost_client_parse : Time.span;  (** per client request, at the leader *)
+  cost_client_reply : Time.span;
+  cost_round_fixed : Time.span;  (** per replication round, leader serial *)
+  cost_marshal_entry : Time.span;  (** per entry per round, leader serial *)
+  cost_per_follower : Time.span;  (** per follower per round, leader serial *)
+  cost_ack_process : Time.span;  (** per ack, leader async *)
+  cost_send_entry : Time.span;  (** per entry per follower, sender serial *)
+  cost_follower_fixed : Time.span;  (** per AppendEntries, follower serial *)
+  cost_follower_entry : Time.span;  (** per entry, follower serial *)
+  cost_apply_entry : Time.span;  (** per committed entry, both sides *)
+  cost_vote : Time.span;
+  (* storage *)
+  wal_entry_overhead : int;  (** bytes per entry beyond payload *)
+  (* transient hiccups (GC pauses etc.), per node *)
+  hiccup_interval : Dist.t;  (** gap between hiccups, us *)
+  hiccup_duration : Dist.t;  (** hiccup length, us *)
+  hiccup_factor : float;  (** CPU slowdown during a hiccup *)
+  enable_hiccups : bool;
+  replication_arity : [ `Majority | `All ];
+      (** ablation knob: [`All] replaces the replication QuorumEvent's
+          majority arity with wait-for-everyone — the anti-pattern *)
+}
+
+let default =
+  {
+    election_timeout_min = Time.ms 150;
+    election_timeout_max = Time.ms 300;
+    heartbeat_interval = Time.ms 50;
+    batch_max = 64;
+    group_commit_window = Time.ms 5;
+    rpc_timeout = Time.ms 1000;
+    client_timeout = Time.ms 5000;
+    cost_client_parse = Time.us 250;
+    cost_client_reply = Time.us 120;
+    cost_round_fixed = Time.us 240;
+    cost_marshal_entry = Time.us 80;
+    cost_per_follower = Time.us 60;
+    cost_ack_process = Time.us 60;
+    cost_send_entry = Time.us 20;
+    cost_follower_fixed = Time.us 200;
+    cost_follower_entry = Time.us 100;
+    cost_apply_entry = Time.us 100;
+    cost_vote = Time.us 50;
+    wal_entry_overhead = 48;
+    hiccup_interval = Dist.Exponential 400_000.0;  (* ~every 400 ms *)
+    hiccup_duration = Dist.Shifted (500.0, Dist.Pareto (500.0, 1.8));
+    hiccup_factor = 4.0;
+    enable_hiccups = true;
+    replication_arity = `Majority;
+  }
+
+(** Majority of a group of [n] voters. *)
+let majority n = (n / 2) + 1

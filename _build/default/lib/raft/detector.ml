@@ -1,0 +1,80 @@
+type t = {
+  server : Server.t;
+  check_interval : Sim.Time.span;
+  baseline_samples : int;
+  threshold : float;
+  confirmations : int;
+  mutable samples : float list;  (* baseline collection, newest first *)
+  mutable baseline : float;
+  mutable strikes : int;
+  mutable suspected : bool;
+  mutable mitigations : int;
+}
+
+let suspected t = t.suspected
+let mitigations t = t.mitigations
+let baseline t = t.baseline
+
+let check t =
+  let lat = Server.commit_latency_ewma t.server in
+  if Server.is_leader t.server && lat >= 0.0 then begin
+    if t.baseline = 0.0 then begin
+      t.samples <- lat :: t.samples;
+      if List.length t.samples >= t.baseline_samples then
+        t.baseline <-
+          List.fold_left ( +. ) 0.0 t.samples /. float_of_int (List.length t.samples)
+    end
+    else if lat > t.threshold *. t.baseline then begin
+      t.strikes <- t.strikes + 1;
+      t.suspected <- t.strikes >= t.confirmations;
+      if t.suspected then begin
+        match Server.best_follower t.server with
+        | Some target ->
+          t.mitigations <- t.mitigations + 1;
+          t.strikes <- 0;
+          t.suspected <- false;
+          Server.transfer_leadership t.server ~target
+        | None -> ()
+      end
+    end
+    else begin
+      t.strikes <- 0;
+      t.suspected <- false
+    end
+  end
+  else begin
+    (* not leading: reset the episode (a new leadership learns afresh) *)
+    t.strikes <- 0;
+    t.suspected <- false;
+    t.samples <- [];
+    t.baseline <- 0.0
+  end
+
+let attach server ?(check_interval = Sim.Time.ms 200) ?(baseline_samples = 10)
+    ?(threshold = 4.0) ?(confirmations = 2) () =
+  let t =
+    {
+      server;
+      check_interval;
+      baseline_samples;
+      threshold;
+      confirmations;
+      samples = [];
+      baseline = 0.0;
+      strikes = 0;
+      suspected = false;
+      mitigations = 0;
+    }
+  in
+  let node = Server.node server in
+  let sched = Cluster.Node.sched node in
+  Cluster.Node.spawn node ~name:"fail-slow-detector" (fun () ->
+      let rec loop () =
+        if Cluster.Node.alive node then begin
+          Depfast.Sched.sleep sched t.check_interval;
+          check t;
+          loop ()
+        end
+      in
+      loop ());
+  t

@@ -1,0 +1,85 @@
+type t = {
+  rpc : Server.rpc;
+  servers : Server.t list;
+  nodes : Cluster.Node.t list;
+  cfg : Config.t;
+  sched : Depfast.Sched.t;
+}
+
+let create sched ~n ?(cfg = Config.default) ?(first_node_id = 0) () =
+  let rpc = Cluster.Rpc.create sched () in
+  let ids = List.init n (fun i -> first_node_id + i) in
+  let nodes =
+    List.mapi
+      (fun i id -> Cluster.Node.create sched ~id ~name:(Printf.sprintf "s%d" (i + 1)) ())
+      ids
+  in
+  let servers =
+    List.map
+      (fun node ->
+        let peers = List.filter (fun p -> p <> Cluster.Node.id node) ids in
+        Server.create rpc node ~peers ~cfg)
+      nodes
+  in
+  List.iter Server.start servers;
+  { rpc; servers; nodes; cfg; sched }
+
+let server t id = List.find (fun s -> Server.id s = id) t.servers
+
+let leader t =
+  List.filter (fun s -> Server.is_leader s && Cluster.Node.alive (Server.node s)) t.servers
+  |> List.fold_left
+       (fun best s ->
+         match best with
+         | None -> Some s
+         | Some b -> if Server.term s > Server.term b then Some s else best)
+       None
+
+let wait_for_leader t ?(timeout = Sim.Time.sec 5) () =
+  let deadline = Sim.Time.add (Depfast.Sched.now t.sched) timeout in
+  let rec poll () =
+    match leader t with
+    | Some s -> Some s
+    | None ->
+      if Depfast.Sched.now t.sched >= deadline then None
+      else begin
+        Depfast.Sched.sleep t.sched (Sim.Time.ms 10);
+        poll ()
+      end
+  in
+  poll ()
+
+let elect t id =
+  let s = server t id in
+  Server.become_leader_now s;
+  let rec poll tries =
+    if (not (Server.is_leader s)) && tries > 0 then begin
+      Depfast.Sched.sleep t.sched (Sim.Time.ms 10);
+      if not (Server.is_leader s) then Server.become_leader_now s;
+      poll (tries - 1)
+    end
+  in
+  poll 100
+
+let make_clients t ~count ?first_node_id () =
+  let first =
+    match first_node_id with
+    | Some f -> f
+    | None -> List.fold_left (fun m n -> max m (Cluster.Node.id n)) 0 t.nodes + 1
+  in
+  let server_ids = List.map Server.id t.servers in
+  List.init count (fun j ->
+      let node =
+        Cluster.Node.create t.sched ~id:(first + j)
+          ~name:(Printf.sprintf "c%d" (j + 1))
+          ()
+      in
+      Cluster.Rpc.attach t.rpc node;
+      Client.create t.rpc node ~servers:server_ids ~cfg:t.cfg ~id:(first + j) ())
+
+let node_name t id =
+  match List.find_opt (fun n -> Cluster.Node.id n = id) t.nodes with
+  | Some n -> Cluster.Node.name n
+  | None ->
+    let max_server = List.fold_left (fun m n -> max m (Cluster.Node.id n)) 0 t.nodes in
+    if id > max_server then Printf.sprintf "c%d" (id - max_server) else Printf.sprintf "n%d" id

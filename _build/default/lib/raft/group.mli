@@ -1,0 +1,39 @@
+(** Convenience constructor for a DepFastRaft cluster plus its clients. *)
+
+type t = {
+  rpc : Server.rpc;
+  servers : Server.t list;
+  nodes : Cluster.Node.t list;
+  cfg : Config.t;
+  sched : Depfast.Sched.t;
+}
+
+val create :
+  Depfast.Sched.t ->
+  n:int ->
+  ?cfg:Config.t ->
+  ?first_node_id:int ->
+  unit ->
+  t
+(** [n] servers with node ids [first_node_id..] (default 0..) named
+    s1..sN, all started. *)
+
+val server : t -> int -> Server.t
+(** By node id. *)
+
+val leader : t -> Server.t option
+(** The live leader with the highest term, if any claims leadership. *)
+
+val wait_for_leader : t -> ?timeout:Sim.Time.span -> unit -> Server.t option
+(** Coroutine-context: poll until some server is leader. *)
+
+val elect : t -> int -> unit
+(** Deterministic bootstrap (coroutine-context): make the given node id run
+    for leader immediately and wait until it wins. *)
+
+val make_clients :
+  t -> count:int -> ?first_node_id:int -> unit -> Client.t list
+(** Client nodes ids default to starting right after the servers'. *)
+
+val node_name : t -> int -> string
+(** [s<i>] for servers, [c<j>] for clients created via {!make_clients}. *)

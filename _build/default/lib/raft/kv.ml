@@ -1,0 +1,91 @@
+type t = {
+  store : (string, string) Hashtbl.t;
+  sessions : (int, int) Hashtbl.t;  (* client_id -> last applied seq *)
+  locks : (string, int) Hashtbl.t;  (* key -> txid holding its 2PC lock *)
+  staged : (int, (string * string) list) Hashtbl.t;  (* txid -> writes *)
+  mutable applied : int;
+}
+
+let create () =
+  {
+    store = Hashtbl.create 1024;
+    sessions = Hashtbl.create 64;
+    locks = Hashtbl.create 64;
+    staged = Hashtbl.create 64;
+    applied = 0;
+  }
+
+let last_seq t ~client_id = Option.value ~default:(-1) (Hashtbl.find_opt t.sessions client_id)
+
+let bump t (e : Types.entry) =
+  if e.client_id >= 0 then Hashtbl.replace t.sessions e.client_id e.seq;
+  t.applied <- t.applied + 1
+
+let apply t (e : Types.entry) =
+  let duplicate = e.client_id >= 0 && e.seq <= last_seq t ~client_id:e.client_id in
+  match e.cmd with
+  | Types.Nop -> None
+  | Types.Tx_prepare { txid; writes } ->
+    if duplicate then
+      (* deterministic re-answer: prepared iff still staged *)
+      Some (if Hashtbl.mem t.staged txid then "ok" else "conflict")
+    else begin
+      bump t e;
+      let conflicting =
+        List.exists
+          (fun (k, _) ->
+            match Hashtbl.find_opt t.locks k with
+            | Some holder -> holder <> txid
+            | None -> false)
+          writes
+      in
+      if conflicting then Some "conflict"
+      else begin
+        List.iter (fun (k, _) -> Hashtbl.replace t.locks k txid) writes;
+        Hashtbl.replace t.staged txid writes;
+        Some "ok"
+      end
+    end
+  | Types.Tx_commit { txid } ->
+    if not duplicate then begin
+      bump t e;
+      (match Hashtbl.find_opt t.staged txid with
+      | Some writes ->
+        List.iter
+          (fun (k, v) ->
+            Hashtbl.replace t.store k v;
+            Hashtbl.remove t.locks k)
+          writes;
+        Hashtbl.remove t.staged txid
+      | None -> ())
+    end;
+    Some "ok"
+  | Types.Tx_abort { txid } ->
+    if not duplicate then begin
+      bump t e;
+      (match Hashtbl.find_opt t.staged txid with
+      | Some writes ->
+        List.iter (fun (k, _) -> Hashtbl.remove t.locks k) writes;
+        Hashtbl.remove t.staged txid
+      | None -> ())
+    end;
+    Some "ok"
+  | Types.Get { key } ->
+    if not duplicate then bump t e;
+    Hashtbl.find_opt t.store key
+  | Types.Put { key; value } ->
+    if not duplicate then begin
+      Hashtbl.replace t.store key value;
+      bump t e
+    end;
+    None
+
+let get t key = Hashtbl.find_opt t.store key
+let size t = Hashtbl.length t.store
+let applied_count t = t.applied
+
+let locked t key = Hashtbl.find_opt t.locks key
+let staged_count t = Hashtbl.length t.staged
+
+let digest t =
+  Hashtbl.fold (fun k v acc -> acc lxor Hashtbl.hash (k, v)) t.store 0

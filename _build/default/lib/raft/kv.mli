@@ -1,0 +1,35 @@
+(** The replicated key-value state machine, with client-session dedup.
+
+    Applying the same committed log prefix always yields the same state;
+    retried client commands (same [client_id], [seq]) are applied once. *)
+
+type t
+
+val create : unit -> t
+
+val apply : t -> Types.entry -> string option
+(** Apply a committed entry. Returns the read value for [Get], [None]
+    otherwise. Duplicate [(client_id, seq)] pairs are skipped (still
+    returning the current value for reads). *)
+
+val get : t -> string -> string option
+(** Direct lookup (used by leader reads after commit). *)
+
+val size : t -> int
+(** Number of live keys. *)
+
+val applied_count : t -> int
+(** Entries actually applied (excludes deduplicated retries and Nops). *)
+
+val last_seq : t -> client_id:int -> int
+(** Highest applied sequence number for a client; -1 if none. *)
+
+val locked : t -> string -> int option
+(** The transaction currently holding a 2PC lock on the key, if any. *)
+
+val staged_count : t -> int
+(** Transactions prepared but not yet committed or aborted. *)
+
+val digest : t -> int
+(** Order-independent hash of the full store, for replica-agreement
+    checks in tests. *)

@@ -1,0 +1,46 @@
+let dummy : Types.entry = { term = 0; index = 0; cmd = Types.Nop; client_id = -1; seq = 0 }
+
+type t = { mutable entries : Types.entry array; mutable len : int }
+(* entries.(i) holds the entry at raft index i+1; slots >= len are [dummy] *)
+
+let create () = { entries = Array.make 64 dummy; len = 0 }
+let last_index t = t.len
+
+let last_term t = if t.len = 0 then 0 else t.entries.(t.len - 1).Types.term
+
+let term_at t i =
+  if i = 0 then Some 0
+  else if i < 0 || i > t.len then None
+  else Some t.entries.(i - 1).Types.term
+
+let get t i = if i < 1 || i > t.len then None else Some t.entries.(i - 1)
+
+let grow t =
+  let bigger = Array.make (2 * Array.length t.entries) dummy in
+  Array.blit t.entries 0 bigger 0 t.len;
+  t.entries <- bigger
+
+let append t (e : Types.entry) =
+  if e.Types.index <> t.len + 1 then
+    invalid_arg
+      (Printf.sprintf "Rlog.append: index %d but last is %d" e.Types.index t.len);
+  if t.len = Array.length t.entries then grow t;
+  t.entries.(t.len) <- e;
+  t.len <- t.len + 1
+
+let truncate_from t i =
+  if i >= 1 && i <= t.len then begin
+    Array.fill t.entries (i - 1) (t.len - (i - 1)) dummy;
+    t.len <- i - 1
+  end
+
+let slice t ~from ~max =
+  if from < 1 || from > t.len then []
+  else
+    let stop = min t.len (from + max - 1) in
+    List.init (stop - from + 1) (fun k -> t.entries.(from - 1 + k))
+
+let length t = t.len
+
+let matches t ~prev_index ~prev_term =
+  match term_at t prev_index with Some tm -> tm = prev_term | None -> false

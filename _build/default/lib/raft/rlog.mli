@@ -1,0 +1,32 @@
+(** The Raft log: 1-based, append-only except for conflict truncation.
+
+    Index 0 is a virtual sentinel with term 0. Purely in-memory; durability
+    timing is modelled by the WAL writes the servers issue against the
+    simulated disk. *)
+
+type t
+
+val create : unit -> t
+
+val last_index : t -> Types.index
+val last_term : t -> Types.term
+
+val term_at : t -> Types.index -> Types.term option
+(** [None] beyond the end; [Some 0] at index 0. *)
+
+val get : t -> Types.index -> Types.entry option
+
+val append : t -> Types.entry -> unit
+(** @raise Invalid_argument if the entry's index is not [last_index + 1]. *)
+
+val truncate_from : t -> Types.index -> unit
+(** Drop entries at indices >= the given one (conflict resolution). *)
+
+val slice : t -> from:Types.index -> max:int -> Types.entry list
+(** Up to [max] entries starting at [from] ([] if [from] is past the end). *)
+
+val length : t -> int
+(** Number of real entries ([last_index]). *)
+
+val matches : t -> prev_index:Types.index -> prev_term:Types.term -> bool
+(** The AppendEntries consistency check. *)

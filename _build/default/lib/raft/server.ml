@@ -1,0 +1,765 @@
+open Sim
+open Types
+
+type rpc = (Types.req, Types.resp) Cluster.Rpc.t
+type role = Follower | Candidate | Leader
+
+type pending = {
+  mutable p_ok : bool;
+  mutable p_value : string option;
+  p_done : Depfast.Event.t;
+  p_t0 : Time.t;  (* enqueue time, for commit-latency tracking *)
+}
+
+type queued = { q_cmd : command; q_client : int; q_seq : int; q_pending : pending }
+
+type follower_state = {
+  f_id : int;
+  mutable next_index : index;  (* next index to (re)send from *)
+  mutable match_index : index;
+  mutable sent_index : index;  (* optimistically advanced as batches ship *)
+  mutable in_flight_bytes : int;
+  mutable last_send : Time.t;
+  mutable last_ack : Time.t;
+  progress_cv : Depfast.Condvar.t;
+  (* replication-round watchers: (target index, progress event with this
+     follower as peer); fired when match_index reaches the target *)
+  mutable watchers : (index * Depfast.Event.t) list;
+}
+
+type t = {
+  rpc : rpc;
+  node : Cluster.Node.t;
+  sched : Depfast.Sched.t;
+  cfg : Config.t;
+  peers : int list;
+  n_voters : int;
+  rng : Rng.t;
+  mutable role : role;
+  mutable term : term;
+  mutable voted_for : int option;
+  rlog : Rlog.t;
+  mutable commit_index : index;
+  mutable last_applied : index;
+  kv : Kv.t;
+  mutable last_contact : Time.t;
+  mutable leader : int option;
+  (* leader-side state *)
+  pending_q : queued Queue.t;
+  by_index : (index, pending) Hashtbl.t;
+  followers : (int, follower_state) Hashtbl.t;
+  work_cv : Depfast.Condvar.t;
+  commit_cv : Depfast.Condvar.t;
+  mutable epoch : int;  (* bumped on every role/term transition *)
+  mutable commit_latency_ewma : float;  (* us; -1 until first sample *)
+  mutable wal_done_index : index;  (* highest locally durable log index *)
+  mutable rounds_inflight : int;  (* pipelined replication rounds *)
+  round_cv : Depfast.Condvar.t;
+  append_mu : Depfast.Mutex.t;  (* serial, in-order replication-stream apply *)
+}
+
+let id t = Cluster.Node.id t.node
+let node t = t.node
+let role t = t.role
+let term t = t.term
+let is_leader t = t.role = Leader
+let leader_hint t = t.leader
+let commit_index t = t.commit_index
+let last_applied t = t.last_applied
+let log t = t.rlog
+let kv t = t.kv
+let now t = Depfast.Sched.now t.sched
+let alive t = Cluster.Node.alive t.node
+let cpu_work t w = Cluster.Node.cpu_work t.node w
+
+(* async CPU accounting for work done in framework callbacks (response
+   processing): occupies the station without blocking anyone *)
+let cpu_charge t w = ignore (Cluster.Station.submit (Cluster.Node.cpu t.node) ~work:w ())
+
+let wal_append t ~bytes =
+  let disk = Cluster.Node.disk t.node in
+  ignore (Cluster.Disk.write disk ~bytes);
+  Cluster.Disk.fsync disk
+
+let election_timeout t =
+  Rng.int_in t.rng t.cfg.Config.election_timeout_min t.cfg.Config.election_timeout_max
+
+let fail_pending t =
+  Queue.iter
+    (fun q ->
+      q.q_pending.p_ok <- false;
+      Depfast.Event.fire q.q_pending.p_done)
+    t.pending_q;
+  Queue.clear t.pending_q;
+  Hashtbl.iter
+    (fun _ p ->
+      p.p_ok <- false;
+      Depfast.Event.fire p.p_done)
+    t.by_index;
+  Hashtbl.reset t.by_index
+
+let step_down t new_term ~leader =
+  let was_leader = t.role = Leader in
+  if new_term > t.term then begin
+    t.term <- new_term;
+    t.voted_for <- None
+  end;
+  if t.role <> Follower then t.epoch <- t.epoch + 1;
+  t.role <- Follower;
+  (match leader with Some _ -> t.leader <- leader | None -> ());
+  if was_leader then fail_pending t
+
+(* commit rule: the majority-replicated index, restricted to entries of the
+   current term (Raft §5.4.2) *)
+let advance_commit t =
+  if t.role = Leader then begin
+    let matches =
+      (* the leader's own vote counts only up to its durable WAL index *)
+      t.wal_done_index
+      :: List.map
+           (fun p -> (Hashtbl.find t.followers p).match_index)
+           t.peers
+    in
+    let sorted = List.sort (fun a b -> compare b a) matches in
+    let candidate = List.nth sorted (Config.majority t.n_voters - 1) in
+    let rec settle n =
+      if n > t.commit_index then
+        match Rlog.term_at t.rlog n with
+        | Some tm when tm = t.term ->
+          t.commit_index <- n;
+          Depfast.Condvar.broadcast t.commit_cv
+        | Some _ | None -> settle (n - 1)
+    in
+    settle candidate
+  end
+
+let fire_watchers fs =
+  let ready, rest = List.partition (fun (idx, _) -> idx <= fs.match_index) fs.watchers in
+  fs.watchers <- rest;
+  List.iter (fun (_, ev) -> Depfast.Event.fire ev) ready
+
+(* ---------------- response processing (framework callbacks) ------------- *)
+
+let handle_append_resp t fs call =
+  fs.last_ack <- now t;
+  cpu_charge t t.cfg.Config.cost_ack_process;
+  (match Cluster.Rpc.response call with
+  | Some (Append_resp { term; success; match_index }) ->
+    if term > t.term then step_down t term ~leader:None
+    else if t.role = Leader && term = t.term then begin
+      if success then begin
+        if match_index > fs.match_index then fs.match_index <- match_index;
+        fs.next_index <- fs.match_index + 1;
+        if fs.sent_index < fs.match_index then fs.sent_index <- fs.match_index;
+        fire_watchers fs;
+        advance_commit t
+      end
+      else begin
+        (* consistency miss: rewind to the follower's last-index hint and
+           restream from there *)
+        fs.next_index <- max 1 (min (fs.next_index - 1) (match_index + 1));
+        fs.sent_index <- fs.next_index - 1
+      end
+    end
+  | Some _ | None -> ());
+  Depfast.Condvar.broadcast fs.progress_cv
+
+(* ---------------- leader: per-follower sender coroutine ----------------- *)
+
+(* TCP-like streaming: the sender ships batches as the log grows, without
+   waiting for acks, up to [sender_window] un-acknowledged bytes. The leader
+   therefore pays the same send cost for a fail-slow follower as for a
+   healthy one — it is the *wait* that is quorum-based, not the sending.
+   Requests unanswered after an RPC timeout are abandoned (their buffers
+   released — the framework-level discard of §2.3). *)
+let sender_window = 64 * 1024 * 1024
+
+let send_append t fs =
+  let from = fs.sent_index + 1 in
+  let entries = Rlog.slice t.rlog ~from ~max:t.cfg.Config.batch_max in
+  let n = List.length entries in
+  if n > 0 then
+    cpu_work t
+      (t.cfg.Config.cost_per_follower + (n * t.cfg.Config.cost_send_entry));
+  let prev_index = from - 1 in
+  let prev_term = Option.value ~default:0 (Rlog.term_at t.rlog prev_index) in
+  let bytes = 256 + entries_bytes entries in
+  fs.sent_index <- prev_index + n;
+  fs.last_send <- now t;
+  fs.in_flight_bytes <- fs.in_flight_bytes + bytes;
+  let call =
+    Cluster.Rpc.call t.rpc ~src:t.node ~dst:fs.f_id ~bytes
+      (Append_entries
+         {
+           term = t.term;
+           leader = id t;
+           prev_index;
+           prev_term;
+           entries;
+           commit = t.commit_index;
+         })
+  in
+  let settled = ref false in
+  let settle () =
+    if not !settled then begin
+      settled := true;
+      fs.in_flight_bytes <- fs.in_flight_bytes - bytes
+    end
+  in
+  Depfast.Event.on_fire (Cluster.Rpc.event call) (fun () ->
+      settle ();
+      handle_append_resp t fs call);
+  Depfast.Event.on_abandon (Cluster.Rpc.event call) (fun () -> settle ());
+  (* bound the wait for this response; late replies are discarded *)
+  ignore
+    (Engine.schedule (Depfast.Sched.engine t.sched) ~delay:t.cfg.Config.rpc_timeout
+       (fun () -> Cluster.Rpc.abandon call))
+
+let sender_loop t fs epoch =
+  let cfg = t.cfg in
+  let rec loop () =
+    if alive t && t.role = Leader && t.epoch = epoch then begin
+      let stalled =
+        (* no ack for a full timeout with data outstanding: the follower is
+           unreachable or drowning — retry at heartbeat pace, resending
+           from the last acknowledged point *)
+        fs.sent_index > fs.match_index
+        && Time.diff (now t) fs.last_ack >= cfg.Config.rpc_timeout
+      in
+      if stalled then begin
+        fs.sent_index <- fs.match_index;
+        if Time.diff (now t) fs.last_send >= cfg.Config.heartbeat_interval then
+          send_append t fs;
+        ignore
+          (Depfast.Condvar.wait_timeout t.sched fs.progress_cv
+             cfg.Config.heartbeat_interval);
+        loop ()
+      end
+      else if fs.in_flight_bytes >= sender_window then begin
+        ignore
+          (Depfast.Condvar.wait_timeout t.sched fs.progress_cv cfg.Config.rpc_timeout);
+        loop ()
+      end
+      else if fs.sent_index < Rlog.last_index t.rlog then begin
+        send_append t fs;
+        loop ()
+      end
+      else if Time.diff (now t) fs.last_send >= cfg.Config.heartbeat_interval then begin
+        send_append t fs;
+        loop ()
+      end
+      else begin
+        ignore
+          (Depfast.Condvar.wait_timeout t.sched t.work_cv
+             cfg.Config.heartbeat_interval);
+        loop ()
+      end
+    end
+  in
+  loop ()
+
+(* ---------------- leader: group-commit replicator ----------------------- *)
+
+let take_batch t =
+  let rec go acc k =
+    if k = 0 || Queue.is_empty t.pending_q then List.rev acc
+    else go (Queue.pop t.pending_q :: acc) (k - 1)
+  in
+  go [] t.cfg.Config.batch_max
+
+let replicator_loop t epoch =
+  let cfg = t.cfg in
+  let pipeline_depth = 8 in
+  let rec loop () =
+    if alive t && t.role = Leader && t.epoch = epoch then begin
+      if Queue.is_empty t.pending_q then
+        ignore
+          (Depfast.Condvar.wait_timeout t.sched t.work_cv cfg.Config.group_commit_window);
+      if alive t && t.role = Leader && t.epoch = epoch then begin
+        if t.rounds_inflight >= pipeline_depth then begin
+          (* backpressure: bound the number of in-flight rounds *)
+          ignore (Depfast.Condvar.wait_timeout t.sched t.round_cv cfg.Config.rpc_timeout);
+          loop ()
+        end
+        else begin
+          let batch = take_batch t in
+          if batch = [] then loop ()
+          else begin
+            let entries =
+              List.map
+                (fun q ->
+                  let e =
+                    {
+                      term = t.term;
+                      index = Rlog.last_index t.rlog + 1;
+                      cmd = q.q_cmd;
+                      client_id = q.q_client;
+                      seq = q.q_seq;
+                    }
+                  in
+                  Rlog.append t.rlog e;
+                  Hashtbl.replace t.by_index e.index q.q_pending;
+                  e)
+                batch
+            in
+            let n = List.length entries in
+            cpu_work t
+              (cfg.Config.cost_round_fixed + (n * cfg.Config.cost_marshal_entry));
+            let last = Rlog.last_index t.rlog in
+            let bytes = entries_bytes entries + (n * cfg.Config.wal_entry_overhead) in
+            let wal_ev = wal_append t ~bytes in
+            (* disk completions are FIFO, so WAL durability advances in
+               log order *)
+            Depfast.Event.on_fire wal_ev (fun () ->
+                if last > t.wal_done_index then t.wal_done_index <- last;
+                if t.role = Leader && t.epoch = epoch then advance_commit t);
+            (* the §3.1 QuorumEvent: local durability + follower progress,
+               majority arity — no single replica can stall this wait *)
+            let required =
+              match cfg.Config.replication_arity with
+              | `Majority -> Config.majority t.n_voters
+              | `All -> t.n_voters
+            in
+            let quorum =
+              Depfast.Event.quorum ~label:"replicate" (Depfast.Event.Count required)
+            in
+            Depfast.Event.add quorum ~child:wal_ev;
+            (* attach every child before firing any: a fired child can
+               complete the quorum, and adding to a fired quorum is an error *)
+            let round_followers =
+              List.map
+                (fun p ->
+                  let fs = Hashtbl.find t.followers p in
+                  let ack =
+                    Depfast.Event.rpc_completion ~label:"repl-progress" ~peer:p ()
+                  in
+                  fs.watchers <- (last, ack) :: fs.watchers;
+                  Depfast.Event.add quorum ~child:ack;
+                  fs)
+                t.peers
+            in
+            List.iter fire_watchers round_followers;
+            Depfast.Condvar.broadcast t.work_cv;
+            (* pipelining: a dedicated coroutine waits for this round's
+               quorum while the replicator assembles the next one *)
+            t.rounds_inflight <- t.rounds_inflight + 1;
+            Depfast.Sched.spawn_here t.sched ~name:"raft.round" (fun () ->
+                (match
+                   Depfast.Sched.wait_timeout t.sched quorum cfg.Config.rpc_timeout
+                 with
+                | Depfast.Sched.Ready ->
+                  if t.role = Leader && t.epoch = epoch then advance_commit t
+                | Depfast.Sched.Timed_out -> ());
+                t.rounds_inflight <- t.rounds_inflight - 1;
+                Depfast.Condvar.broadcast t.round_cv);
+            loop ()
+          end
+        end
+      end
+    end
+  in
+  loop ()
+
+(* ---------------- applier ----------------------------------------------- *)
+
+let applier_loop t =
+  let rec loop () =
+    if alive t then begin
+      if t.last_applied < t.commit_index then begin
+        let i = t.last_applied + 1 in
+        match Rlog.get t.rlog i with
+        | None ->
+          (* committed entry missing would be a safety bug *)
+          assert false
+        | Some e ->
+          cpu_work t t.cfg.Config.cost_apply_entry;
+          let value = Kv.apply t.kv e in
+          t.last_applied <- i;
+          (match Hashtbl.find_opt t.by_index i with
+          | Some p ->
+            Hashtbl.remove t.by_index i;
+            p.p_value <- value;
+            p.p_ok <- true;
+            let lat = float_of_int (Time.diff (now t) p.p_t0) in
+            t.commit_latency_ewma <-
+              (if t.commit_latency_ewma < 0.0 then lat
+               else (0.95 *. t.commit_latency_ewma) +. (0.05 *. lat));
+            Depfast.Event.fire p.p_done
+          | None -> ());
+          loop ()
+      end
+      else begin
+        Depfast.Condvar.wait t.sched t.commit_cv;
+        loop ()
+      end
+    end
+  in
+  loop ()
+
+(* ---------------- elections --------------------------------------------- *)
+
+let reset_follower_state t =
+  Hashtbl.reset t.followers;
+  List.iter
+    (fun p ->
+      Hashtbl.replace t.followers p
+        {
+          f_id = p;
+          next_index = Rlog.last_index t.rlog + 1;
+          match_index = 0;
+          sent_index = Rlog.last_index t.rlog;
+          in_flight_bytes = 0;
+          last_send = Time.zero;
+          last_ack = now t;
+          progress_cv = Depfast.Condvar.create ~label:"progress" ();
+          watchers = [];
+        })
+    t.peers
+
+let enqueue t ~cmd ~client ~seq =
+  let p =
+    {
+      p_ok = false;
+      p_value = None;
+      p_done = Depfast.Event.signal ~label:"committed" ();
+      p_t0 = now t;
+    }
+  in
+  Queue.add { q_cmd = cmd; q_client = client; q_seq = seq; q_pending = p } t.pending_q;
+  Depfast.Condvar.broadcast t.work_cv;
+  p
+
+let become_leader t =
+  t.epoch <- t.epoch + 1;
+  let epoch = t.epoch in
+  t.role <- Leader;
+  t.leader <- Some (id t);
+  t.wal_done_index <- 0;
+  t.rounds_inflight <- 0;
+  reset_follower_state t;
+  (* commit barrier: a fresh leader commits a no-op to learn commit index *)
+  ignore (enqueue t ~cmd:Nop ~client:(-1) ~seq:0);
+  Cluster.Node.spawn t.node ~name:"raft.replicator" (fun () -> replicator_loop t epoch);
+  List.iter
+    (fun p ->
+      let fs = Hashtbl.find t.followers p in
+      Cluster.Node.spawn t.node ~name:(Printf.sprintf "raft.sender.%d" p) (fun () ->
+          sender_loop t fs epoch))
+    t.peers
+
+(* ask peers whether they would vote for us at [term]; used for both the
+   Pre-Vote probe and the real election *)
+let gather_votes t ~term:ask_term ~transfer ~prevote ~needed =
+  let quorum =
+    Depfast.Event.quorum
+      ~label:(if prevote then "prevotes" else "votes")
+      (Depfast.Event.Count needed)
+  in
+  let grants =
+    List.map
+      (fun p ->
+        let g =
+          Depfast.Event.rpc_completion
+            ~label:(if prevote then "prevote-granted" else "vote-granted")
+            ~peer:p ()
+        in
+        Depfast.Event.add quorum ~child:g;
+        (p, g))
+      t.peers
+  in
+  List.iter
+    (fun (p, grant) ->
+      let call =
+        Cluster.Rpc.call t.rpc ~src:t.node ~dst:p
+          (Request_vote
+             {
+               term = ask_term;
+               candidate = id t;
+               last_log_index = Rlog.last_index t.rlog;
+               last_log_term = Rlog.last_term t.rlog;
+               transfer;
+               prevote;
+             })
+      in
+      Depfast.Event.on_fire (Cluster.Rpc.event call) (fun () ->
+          cpu_charge t t.cfg.Config.cost_ack_process;
+          match Cluster.Rpc.response call with
+          | Some (Vote_resp { term; granted }) ->
+            if term > t.term then step_down t term ~leader:None
+            else if granted then Depfast.Event.fire grant
+          | Some _ | None -> ()))
+    grants;
+  quorum
+
+let run_election t ~transfer =
+  t.epoch <- t.epoch + 1;
+  t.role <- Candidate;
+  t.term <- t.term + 1;
+  t.voted_for <- Some (id t);
+  t.leader <- None;
+  t.last_contact <- now t;
+  let my_term = t.term in
+  let needed = Config.majority t.n_voters - 1 in
+  if needed = 0 then become_leader t
+  else begin
+    let quorum = gather_votes t ~term:my_term ~transfer ~prevote:false ~needed in
+    match Depfast.Sched.wait_timeout t.sched quorum (election_timeout t) with
+    | Depfast.Sched.Ready ->
+      if t.role = Candidate && t.term = my_term then become_leader t
+    | Depfast.Sched.Timed_out -> ()
+  end
+
+(* Pre-Vote (Raft thesis §9.6): probe a majority before disturbing anyone.
+   Without it, a follower whose inbound link is slow (the 400 ms tc fault)
+   times out, inflates its term, and deposes a healthy leader — precisely
+   the kind of fail-slow propagation this system must not have. *)
+let run_prevote_then_election t ~transfer =
+  if transfer then run_election t ~transfer
+  else begin
+    let needed = Config.majority t.n_voters - 1 in
+    if needed = 0 then run_election t ~transfer
+    else begin
+      let quorum =
+        gather_votes t ~term:(t.term + 1) ~transfer ~prevote:true ~needed
+      in
+      match Depfast.Sched.wait_timeout t.sched quorum (election_timeout t) with
+      | Depfast.Sched.Ready -> if t.role <> Leader then run_election t ~transfer
+      | Depfast.Sched.Timed_out -> ()
+    end
+  end
+
+let election_timer_loop t =
+  let rec loop () =
+    if alive t then begin
+      if t.role = Leader then begin
+        Depfast.Sched.sleep t.sched t.cfg.Config.heartbeat_interval;
+        loop ()
+      end
+      else begin
+        let timeout = election_timeout t in
+        let elapsed = Time.diff (now t) t.last_contact in
+        if elapsed >= timeout then begin
+          run_prevote_then_election t ~transfer:false;
+          loop ()
+        end
+        else begin
+          Depfast.Sched.sleep t.sched (timeout - elapsed);
+          loop ()
+        end
+      end
+    end
+  in
+  loop ()
+
+let hiccup_loop t =
+  let cfg = t.cfg in
+  let cpu = Cluster.Node.cpu t.node in
+  let rec loop () =
+    if alive t then begin
+      Depfast.Sched.sleep t.sched (Dist.sample_span t.rng cfg.Config.hiccup_interval);
+      let duration =
+        min (Time.ms 10) (Dist.sample_span t.rng cfg.Config.hiccup_duration)
+      in
+      Cluster.Station.set_speed cpu (Cluster.Station.speed cpu *. cfg.Config.hiccup_factor);
+      Depfast.Sched.sleep t.sched duration;
+      Cluster.Station.set_speed cpu (Cluster.Station.speed cpu /. cfg.Config.hiccup_factor);
+      loop ()
+    end
+  in
+  loop ()
+
+(* ---------------- request handlers -------------------------------------- *)
+
+let handle_request_vote t ~term ~candidate ~last_log_index ~last_log_term ~transfer
+    ~prevote =
+  cpu_work t t.cfg.Config.cost_vote;
+  (* leader stickiness: if we heard from a live leader recently, reject —
+     unless this is a deliberate leadership transfer *)
+  let sticky =
+    (not transfer)
+    && Time.diff (now t) t.last_contact < t.cfg.Config.election_timeout_min
+  in
+  let up_to_date =
+    last_log_term > Rlog.last_term t.rlog
+    || (last_log_term = Rlog.last_term t.rlog && last_log_index >= Rlog.last_index t.rlog)
+  in
+  if prevote then
+    (* advisory only: no state changes, no term adoption *)
+    Vote_resp
+      { term = t.term; granted = term >= t.term && up_to_date && not sticky }
+  else if term < t.term || sticky then Vote_resp { term = t.term; granted = false }
+  else begin
+    if term > t.term then step_down t term ~leader:None;
+    let granted =
+      (match t.voted_for with None -> true | Some v -> v = candidate) && up_to_date
+    in
+    if granted then begin
+      t.voted_for <- Some candidate;
+      t.last_contact <- now t
+    end;
+    Vote_resp { term = t.term; granted }
+  end
+
+let handle_append_entries t ~term ~leader ~prev_index ~prev_term ~entries ~commit =
+  (* the replication stream is processed serially, in delivery order (a
+     retransmitted message must not race its successor) *)
+  Depfast.Mutex.with_lock t.sched t.append_mu @@ fun () ->
+  let cfg = t.cfg in
+  cpu_work t
+    (cfg.Config.cost_follower_fixed
+    + (List.length entries * cfg.Config.cost_follower_entry));
+  if term < t.term then Append_resp { term = t.term; success = false; match_index = 0 }
+  else begin
+    if term > t.term || t.role <> Follower then step_down t term ~leader:(Some leader);
+    t.leader <- Some leader;
+    t.last_contact <- now t;
+    if not (Rlog.matches t.rlog ~prev_index ~prev_term) then
+      (* hint our last index so the leader can back off quickly *)
+      Append_resp
+        { term = t.term; success = false; match_index = Rlog.last_index t.rlog }
+    else begin
+      (* idempotent append with conflict truncation *)
+      List.iter
+        (fun e ->
+          match Rlog.term_at t.rlog e.index with
+          | Some tm when tm = e.term -> ()
+          | Some _ ->
+            Rlog.truncate_from t.rlog e.index;
+            Rlog.append t.rlog e
+          | None ->
+            if e.index = Rlog.last_index t.rlog + 1 then Rlog.append t.rlog e)
+        entries;
+      let match_index = prev_index + List.length entries in
+      if entries <> [] then begin
+        let bytes =
+          entries_bytes entries + (List.length entries * cfg.Config.wal_entry_overhead)
+        in
+        Depfast.Sched.wait t.sched (wal_append t ~bytes)
+      end;
+      let new_commit = min commit (Rlog.last_index t.rlog) in
+      if new_commit > t.commit_index then begin
+        t.commit_index <- new_commit;
+        Depfast.Condvar.broadcast t.commit_cv
+      end;
+      t.last_contact <- now t;
+      Append_resp { term = t.term; success = true; match_index }
+    end
+  end
+
+let handle_client_request t ~cmd ~client_id ~seq =
+  let cfg = t.cfg in
+  cpu_work t cfg.Config.cost_client_parse;
+  if t.role <> Leader then
+    Client_resp { ok = false; leader_hint = t.leader; value = None }
+  else begin
+    let p = enqueue t ~cmd ~client:client_id ~seq in
+    let outcome = Depfast.Sched.wait_timeout t.sched p.p_done cfg.Config.client_timeout in
+    cpu_work t cfg.Config.cost_client_reply;
+    match outcome with
+    | Depfast.Sched.Ready ->
+      Client_resp { ok = p.p_ok; leader_hint = Some (id t); value = p.p_value }
+    | Depfast.Sched.Timed_out ->
+      Client_resp { ok = false; leader_hint = t.leader; value = None }
+  end
+
+let transfer_leadership t ~target =
+  if t.role = Leader && List.mem target t.peers then begin
+    let fs = Hashtbl.find t.followers target in
+    (* wait (bounded) for the target to catch up, then fire Timeout_now *)
+    let deadline = Time.add (now t) t.cfg.Config.election_timeout_max in
+    let rec wait_caught_up () =
+      if
+        t.role = Leader
+        && fs.match_index < Rlog.last_index t.rlog
+        && now t < deadline
+      then begin
+        ignore (Depfast.Condvar.wait_timeout t.sched fs.progress_cv (Time.ms 10));
+        wait_caught_up ()
+      end
+    in
+    wait_caught_up ();
+    if t.role = Leader then begin
+      ignore (Cluster.Rpc.call t.rpc ~src:t.node ~dst:target Timeout_now);
+      (* step down proactively; the target's election will supersede us *)
+      step_down t t.term ~leader:None
+    end
+  end
+
+let handle t ~src:_ (req : Types.req) : Types.resp option =
+  match req with
+  | Request_vote { term; candidate; last_log_index; last_log_term; transfer; prevote }
+    ->
+    Some
+      (handle_request_vote t ~term ~candidate ~last_log_index ~last_log_term ~transfer
+         ~prevote)
+  | Append_entries { term; leader; prev_index; prev_term; entries; commit } ->
+    Some (handle_append_entries t ~term ~leader ~prev_index ~prev_term ~entries ~commit)
+  | Client_request { cmd; client_id; seq } ->
+    Some (handle_client_request t ~cmd ~client_id ~seq)
+  | Transfer_leadership { target } ->
+    transfer_leadership t ~target;
+    Some Ack
+  | Timeout_now ->
+    if t.role <> Leader then run_election t ~transfer:true;
+    Some Ack
+  | Pull_oplog _ | Update_position _ ->
+    (* baseline-only messages; a DepFastRaft node ignores them *)
+    Some Ack
+
+let create rpc node ~peers ~cfg =
+  let sched = Cluster.Node.sched node in
+  let t =
+    {
+      rpc;
+      node;
+      sched;
+      cfg;
+      peers;
+      n_voters = List.length peers + 1;
+      rng = Engine.split_rng (Depfast.Sched.engine sched);
+      role = Follower;
+      term = 0;
+      voted_for = None;
+      rlog = Rlog.create ();
+      commit_index = 0;
+      last_applied = 0;
+      kv = Kv.create ();
+      last_contact = Time.zero;
+      leader = None;
+      pending_q = Queue.create ();
+      by_index = Hashtbl.create 256;
+      followers = Hashtbl.create 8;
+      work_cv = Depfast.Condvar.create ~label:"work" ();
+      commit_cv = Depfast.Condvar.create ~label:"commit" ();
+      epoch = 0;
+      commit_latency_ewma = -1.0;
+      wal_done_index = 0;
+      rounds_inflight = 0;
+      round_cv = Depfast.Condvar.create ~label:"rounds" ();
+      append_mu = Depfast.Mutex.create ~label:"append" ();
+    }
+  in
+  reset_follower_state t;
+  Cluster.Rpc.serve rpc ~node ~handler:(fun ~src req -> handle t ~src req);
+  t
+
+let start t =
+  Cluster.Node.spawn t.node ~name:"raft.election-timer" (fun () -> election_timer_loop t);
+  Cluster.Node.spawn t.node ~name:"raft.applier" (fun () -> applier_loop t);
+  if t.cfg.Config.enable_hiccups then
+    Cluster.Node.spawn t.node ~name:"hiccup" (fun () -> hiccup_loop t)
+
+let become_leader_now t = if t.role <> Leader then run_election t ~transfer:true
+
+let commit_latency_ewma t = t.commit_latency_ewma
+
+let best_follower t =
+  if t.role <> Leader then None
+  else
+    Hashtbl.fold
+      (fun p fs best ->
+        match best with
+        | Some (_, m) when m >= fs.match_index -> best
+        | _ -> Some (p, fs.match_index))
+      t.followers None
+    |> Option.map fst

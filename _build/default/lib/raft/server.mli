@@ -1,0 +1,59 @@
+(** DepFastRaft (§3.4): a Raft server written in the DepFast style.
+
+    All request-path waits are quorum waits:
+    - a replication round waits on one [QuorumEvent] whose children are the
+      leader's own WAL-durability event plus one progress signal per
+      follower, with majority arity;
+    - elections wait on a [QuorumEvent] over vote-granted signals;
+    - client handlers wait on the request's commit event (local).
+
+    Per-follower response handling is framework code driven by event
+    callbacks; no coroutine ever waits on a single follower, so a minority
+    of arbitrarily slow followers cannot stall the request path
+    ({!Depfast.Spg.audit} verifies this mechanically in the tests).
+
+    Leadership: randomized election timeouts with leader stickiness (a
+    server that heard from a live leader recently rejects votes, unless the
+    election is a deliberate transfer), plus §5's leadership transfer used
+    by the fail-slow mitigation. *)
+
+type rpc = (Types.req, Types.resp) Cluster.Rpc.t
+
+type t
+
+val create : rpc -> Cluster.Node.t -> peers:int list -> cfg:Config.t -> t
+(** Build the server and install its RPC handler. [peers] are the other
+    servers' node ids. Call {!start} to begin operating. *)
+
+val start : t -> unit
+(** Spawn the election timer, applier, and hiccup coroutines. *)
+
+type role = Follower | Candidate | Leader
+
+val id : t -> int
+val node : t -> Cluster.Node.t
+val role : t -> role
+val term : t -> Types.term
+val is_leader : t -> bool
+val leader_hint : t -> int option
+val commit_index : t -> Types.index
+val last_applied : t -> Types.index
+val log : t -> Rlog.t
+val kv : t -> Kv.t
+
+val become_leader_now : t -> unit
+(** Test/bootstrap helper: start an election immediately (bypassing the
+    randomized timeout), as after a [Timeout_now]. *)
+
+val commit_latency_ewma : t -> float
+(** Exponentially weighted average of enqueue-to-apply latency for client
+    commands at this leader, in microseconds; -1 before the first commit.
+    This is the trace-point signal the §5 failure detector consumes. *)
+
+val best_follower : t -> int option
+(** Leader-side: the most caught-up follower — the natural leadership
+    transfer target. [None] if not leader. *)
+
+val transfer_leadership : t -> target:int -> unit
+(** Leader-side: wait (in the calling coroutine) until [target] is caught
+    up, then tell it to elect itself. No-op if not leader. *)

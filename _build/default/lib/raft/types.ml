@@ -1,0 +1,81 @@
+(** Wire and log types shared by DepFastRaft and the baseline RSMs. *)
+
+type term = int [@@deriving show { with_path = false }, eq]
+type index = int [@@deriving show { with_path = false }, eq]
+
+(** State-machine commands. [Nop] is the no-op a fresh leader commits to
+    learn its commit index. *)
+type command =
+  | Put of { key : string; value : string }
+  | Get of { key : string }
+  | Nop
+  | Tx_prepare of { txid : int; writes : (string * string) list }
+      (** 2PC phase 1, replicated through the shard's log: lock the keys and
+          stage the writes; applies to "ok" or "conflict" *)
+  | Tx_commit of { txid : int }  (** 2PC phase 2: install staged writes *)
+  | Tx_abort of { txid : int }  (** 2PC phase 2: discard staged writes *)
+[@@deriving show { with_path = false }, eq]
+
+type entry = {
+  term : term;
+  index : index;
+  cmd : command;
+  client_id : int;  (** -1 for internal entries *)
+  seq : int;  (** client request sequence number, for dedup *)
+}
+[@@deriving show { with_path = false }, eq]
+
+(** Requests. The RSM uses one RPC channel for peer and client traffic,
+    like real systems sharing a port. *)
+type req =
+  | Request_vote of {
+      term : term;
+      candidate : int;
+      last_log_index : index;
+      last_log_term : term;
+      transfer : bool;
+          (** set during leadership transfer; bypasses leader stickiness *)
+      prevote : bool;
+          (** Pre-Vote phase (Raft thesis §9.6): probe electability without
+              disturbing the incumbent; grants are advisory, the term is the
+              term the candidate {e would} use *)
+    }
+  | Append_entries of {
+      term : term;
+      leader : int;
+      prev_index : index;
+      prev_term : term;
+      entries : entry list;
+      commit : index;
+    }
+  | Client_request of { cmd : command; client_id : int; seq : int }
+  | Pull_oplog of { from : index; follower : int }
+      (** MongoDB-like pull-based replication (baseline only). *)
+  | Update_position of { follower : int; match_index : index; term : term }
+      (** MongoDB-like progress report (baseline only). *)
+  | Transfer_leadership of { target : int }
+      (** §5 mitigation: ask the leader to hand off to [target]. *)
+  | Timeout_now
+      (** sent by a transferring leader: start an election immediately. *)
+[@@deriving show { with_path = false }]
+
+type resp =
+  | Vote_resp of { term : term; granted : bool }
+  | Append_resp of { term : term; success : bool; match_index : index }
+  | Client_resp of { ok : bool; leader_hint : int option; value : string option }
+  | Oplog_resp of { entries : entry list; prev_index : index; prev_term : term; commit : index }
+  | Ack
+[@@deriving show { with_path = false }]
+
+(** Size estimate of an entry on the wire / WAL, for disk and buffer
+    accounting. *)
+let entry_bytes e =
+  match e.cmd with
+  | Put { key; value } -> 64 + String.length key + String.length value
+  | Get { key } -> 64 + String.length key
+  | Nop -> 64
+  | Tx_prepare { writes; _ } ->
+    List.fold_left (fun acc (k, v) -> acc + String.length k + String.length v) 96 writes
+  | Tx_commit _ | Tx_abort _ -> 72
+
+let entries_bytes es = List.fold_left (fun acc e -> acc + entry_bytes e) 0 es

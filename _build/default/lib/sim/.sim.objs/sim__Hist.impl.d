@@ -1,0 +1,1 @@
+lib/sim/hist.ml: Array Float Format Time

@@ -1,0 +1,1 @@
+lib/sim/hist.mli: Format Time

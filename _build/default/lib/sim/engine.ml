@@ -1,0 +1,65 @@
+type timer = Heap.handle
+
+type t = {
+  mutable clock : Time.t;
+  ready : (unit -> unit) Queue.t;
+  timers : (unit -> unit) Heap.t;
+  root_rng : Rng.t;
+}
+
+let create ?(seed = 1L) () =
+  {
+    clock = Time.zero;
+    ready = Queue.create ();
+    timers = Heap.create ();
+    root_rng = Rng.create seed;
+  }
+
+let now t = t.clock
+let rng t = t.root_rng
+let split_rng t = Rng.split t.root_rng
+let post t f = Queue.add f t.ready
+
+let schedule t ~delay f =
+  let delay = if delay < 0 then 0 else delay in
+  Heap.push t.timers ~time:(Time.add t.clock delay) f
+
+let schedule_at t ~time f =
+  let time = if time < t.clock then t.clock else time in
+  Heap.push t.timers ~time f
+
+let cancel t h = Heap.cancel t.timers h
+let pending t = Queue.length t.ready + Heap.size t.timers
+
+let step t =
+  if not (Queue.is_empty t.ready) then begin
+    (Queue.pop t.ready) ();
+    true
+  end
+  else
+    match Heap.pop t.timers with
+    | None -> false
+    | Some (time, f) ->
+      t.clock <- time;
+      f ();
+      true
+
+let run ?until t =
+  let continue () =
+    match until with
+    | None -> true
+    | Some deadline -> (
+      (* only advance past the deadline if posted (same-instant) work
+         remains; timers beyond the deadline stay pending *)
+      if not (Queue.is_empty t.ready) then t.clock <= deadline
+      else
+        match Heap.peek_time t.timers with
+        | None -> false
+        | Some time -> time <= deadline)
+  in
+  while continue () && step t do
+    ()
+  done;
+  match until with
+  | Some deadline when t.clock < deadline && Queue.is_empty t.ready -> t.clock <- deadline
+  | _ -> ()

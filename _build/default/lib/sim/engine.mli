@@ -1,0 +1,50 @@
+(** The discrete-event simulation engine.
+
+    Owns the virtual clock and two work sources: a FIFO of thunks to run at
+    the current instant ({!post}) and a timer heap of thunks to run at a
+    future instant ({!schedule}). {!run} executes work in time order until
+    quiescence (or a deadline), advancing the clock only when the ready FIFO
+    is empty. Everything above (coroutines, network, disks) is built out of
+    these two primitives. *)
+
+type t
+
+type timer
+(** A cancellable scheduled thunk. *)
+
+val create : ?seed:int64 -> unit -> t
+(** Fresh engine at time 0. [seed] (default [1L]) roots all derived RNG
+    streams. *)
+
+val now : t -> Time.t
+
+val rng : t -> Rng.t
+(** The engine's root RNG. Prefer {!split_rng} for per-component streams. *)
+
+val split_rng : t -> Rng.t
+(** A fresh independent stream derived from the root. *)
+
+val post : t -> (unit -> unit) -> unit
+(** Run a thunk at the current instant, after already-posted thunks. *)
+
+val schedule : t -> delay:Time.span -> (unit -> unit) -> timer
+(** Run a thunk [delay] from now. A non-positive delay means "immediately
+    after currently posted work". *)
+
+val schedule_at : t -> time:Time.t -> (unit -> unit) -> timer
+(** Like {!schedule} with an absolute deadline (clamped to now). *)
+
+val cancel : t -> timer -> unit
+(** Cancelling an already-fired or already-cancelled timer is a no-op. *)
+
+val pending : t -> int
+(** Number of outstanding posted thunks + live timers. *)
+
+val run : ?until:Time.t -> t -> unit
+(** Execute until no work remains, or until the clock would pass [until]
+    (the clock is then left at [until]). Exceptions raised by thunks
+    propagate and abort the run. *)
+
+val step : t -> bool
+(** Execute one thunk (possibly advancing the clock first). [false] when no
+    work remains. *)

@@ -1,0 +1,111 @@
+(* Logarithmic bucketing: values < 64 are exact; above that, each power of
+   two is split into 32 sub-buckets (top 6 significant bits), giving <= ~3%
+   relative quantile error, plenty for latency reporting. *)
+
+let sub = 64
+let max_exp = 62
+let nbuckets = sub + ((max_exp - 6 + 1) * 32)
+
+type t = {
+  buckets : int array;
+  mutable count : int;
+  mutable sum : float;
+  mutable sumsq : float;
+  mutable min_v : int;
+  mutable max_v : int;
+}
+
+let create () =
+  {
+    buckets = Array.make nbuckets 0;
+    count = 0;
+    sum = 0.0;
+    sumsq = 0.0;
+    min_v = max_int;
+    max_v = 0;
+  }
+
+let msb v =
+  (* position of most significant set bit; v > 0 *)
+  let rec go v acc = if v = 1 then acc else go (v lsr 1) (acc + 1) in
+  go v 0
+
+let index_of v =
+  if v < sub then v
+  else
+    let k = msb v in
+    let m = v lsr (k - 5) in
+    sub + ((k - 6) * 32) + (m - 32)
+
+let upper_bound_of idx =
+  if idx < sub then idx
+  else
+    let k = 6 + ((idx - sub) / 32) in
+    let m = 32 + ((idx - sub) mod 32) in
+    ((m + 1) lsl (k - 5)) - 1
+
+let add t v =
+  let v = if v < 0 then 0 else v in
+  t.buckets.(index_of v) <- t.buckets.(index_of v) + 1;
+  t.count <- t.count + 1;
+  let f = float_of_int v in
+  t.sum <- t.sum +. f;
+  t.sumsq <- t.sumsq +. (f *. f);
+  if v < t.min_v then t.min_v <- v;
+  if v > t.max_v then t.max_v <- v
+
+let count t = t.count
+let min_value t = if t.count = 0 then 0 else t.min_v
+let max_value t = t.max_v
+let mean t = if t.count = 0 then 0.0 else t.sum /. float_of_int t.count
+
+let stddev t =
+  if t.count = 0 then 0.0
+  else
+    let m = mean t in
+    let var = (t.sumsq /. float_of_int t.count) -. (m *. m) in
+    sqrt (Float.max 0.0 var)
+
+let quantile t q =
+  if t.count = 0 then 0
+  else
+    let target =
+      let x = int_of_float (ceil (q *. float_of_int t.count)) in
+      if x < 1 then 1 else if x > t.count then t.count else x
+    in
+    let rec go idx acc =
+      if idx >= nbuckets then t.max_v
+      else
+        let acc = acc + t.buckets.(idx) in
+        if acc >= target then min (upper_bound_of idx) t.max_v else go (idx + 1) acc
+    in
+    go 0 0
+
+let p50 t = quantile t 0.50
+let p95 t = quantile t 0.95
+let p99 t = quantile t 0.99
+let p999 t = quantile t 0.999
+
+let merge a b =
+  let t = create () in
+  Array.blit a.buckets 0 t.buckets 0 nbuckets;
+  Array.iteri (fun i v -> t.buckets.(i) <- t.buckets.(i) + v) b.buckets;
+  t.count <- a.count + b.count;
+  t.sum <- a.sum +. b.sum;
+  t.sumsq <- a.sumsq +. b.sumsq;
+  t.min_v <- min a.min_v b.min_v;
+  t.max_v <- max a.max_v b.max_v;
+  t
+
+let clear t =
+  Array.fill t.buckets 0 nbuckets 0;
+  t.count <- 0;
+  t.sum <- 0.0;
+  t.sumsq <- 0.0;
+  t.min_v <- max_int;
+  t.max_v <- 0
+
+let pp_summary fmt t =
+  Format.fprintf fmt "n=%d mean=%a p50=%a p99=%a max=%a" t.count Time.pp
+    (int_of_float (mean t))
+    Time.pp (p50 t) Time.pp (p99 t) Time.pp (max_value t)

@@ -1,0 +1,40 @@
+(** Deterministic pseudo-random number generation.
+
+    A small, fast, splittable generator (splitmix64) so that every simulation
+    component can own an independent stream derived from the experiment seed.
+    Streams are stable across OCaml versions, unlike [Stdlib.Random]. *)
+
+type t
+
+val create : int64 -> t
+(** [create seed] is a fresh generator. Equal seeds give equal streams. *)
+
+val split : t -> t
+(** [split t] derives a new independent generator from [t], advancing [t].
+    Used to give each node / client / distribution its own stream. *)
+
+val copy : t -> t
+(** [copy t] duplicates the current state (same future stream). *)
+
+val bits64 : t -> int64
+(** Next raw 64-bit output. *)
+
+val int : t -> int -> int
+(** [int t bound] is uniform in [\[0, bound)]. Requires [bound > 0]. *)
+
+val int_in : t -> int -> int -> int
+(** [int_in t lo hi] is uniform in [\[lo, hi\]] inclusive. *)
+
+val float : t -> float -> float
+(** [float t bound] is uniform in [\[0, bound)]. *)
+
+val unit_float : t -> float
+(** Uniform in [\[0, 1)]. *)
+
+val bool : t -> bool
+
+val pick : t -> 'a array -> 'a
+(** Uniformly chosen element. Requires a non-empty array. *)
+
+val shuffle : t -> 'a array -> unit
+(** In-place Fisher–Yates shuffle. *)

@@ -1,0 +1,19 @@
+type t = int
+type span = int
+
+let zero = 0
+let us n = n
+let ms n = n * 1_000
+let sec n = n * 1_000_000
+let of_ms_f x = int_of_float (Float.round (x *. 1_000.))
+let of_us_f x = int_of_float (Float.round x)
+let to_ms_f s = float_of_int s /. 1_000.
+let to_sec_f s = float_of_int s /. 1_000_000.
+let add t s = t + s
+let diff a b = a - b
+let compare = Int.compare
+
+let pp fmt t =
+  if t >= 1_000_000 then Format.fprintf fmt "%.3fs" (to_sec_f t)
+  else if t >= 1_000 then Format.fprintf fmt "%.3fms" (to_ms_f t)
+  else Format.fprintf fmt "%dus" t

@@ -1,0 +1,1 @@
+lib/workload/driver.ml: Cluster Depfast Engine Hist List Metrics Sim Time Ycsb

@@ -1,0 +1,1 @@
+lib/workload/sut.ml: Cluster Driver

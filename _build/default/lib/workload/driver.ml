@@ -1,0 +1,54 @@
+open Sim
+
+type client = { node : Cluster.Node.t; run_op : Ycsb.op -> bool }
+
+let run sched ~clients ~workload ~warmup ~duration ?leader_node () =
+  let engine = Depfast.Sched.engine sched in
+  let t_start = Engine.now engine in
+  let measure_from = Time.add t_start warmup in
+  let t_end = Time.add measure_from duration in
+  let hist = Hist.create () in
+  let completed = ref 0 in
+  let failed = ref 0 in
+  List.iter
+    (fun c ->
+      let gen = Ycsb.make_gen workload (Engine.split_rng engine) in
+      Cluster.Node.spawn c.node ~name:"ycsb-client" (fun () ->
+          let rec loop () =
+            if Engine.now engine < t_end && Cluster.Node.alive c.node then begin
+              let op = Ycsb.next_op gen in
+              let t0 = Engine.now engine in
+              let ok = c.run_op op in
+              let t1 = Engine.now engine in
+              if t1 >= measure_from && t1 < t_end then
+                if ok then begin
+                  incr completed;
+                  Hist.add hist (Time.diff t1 t0)
+                end
+                else incr failed;
+              loop ()
+            end
+          in
+          loop ()))
+    clients;
+  (* reset the leader's CPU window at the start of measurement *)
+  (match leader_node with
+  | Some n ->
+    ignore
+      (Engine.schedule_at engine ~time:measure_from (fun () ->
+           Cluster.Station.reset_stats (Cluster.Node.cpu n)))
+  | None -> ());
+  Engine.run ~until:t_end engine;
+  let leader_utilization, leader_crashed =
+    match leader_node with
+    | Some n -> (Cluster.Station.utilization (Cluster.Node.cpu n), not (Cluster.Node.alive n))
+    | None -> (0.0, false)
+  in
+  {
+    Metrics.duration = duration;
+    completed = !completed;
+    failed = !failed;
+    latency = hist;
+    leader_utilization;
+    leader_crashed;
+  }

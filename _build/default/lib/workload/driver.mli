@@ -1,0 +1,28 @@
+(** Closed-loop benchmark driver (§2.1 methodology).
+
+    Spawns one coroutine per client; each repeatedly draws an operation from
+    the workload, executes it through the system under test, and records the
+    latency if the operation {e completes} inside the measurement window
+    (after [warmup], before [warmup + duration]).
+
+    The driver is implementation-agnostic: a system under test is a list of
+    {!client} records — DepFastRaft and the three baselines all provide
+    them. *)
+
+type client = {
+  node : Cluster.Node.t;  (** where the client coroutine runs *)
+  run_op : Ycsb.op -> bool;  (** blocking; [true] iff committed *)
+}
+
+val run :
+  Depfast.Sched.t ->
+  clients:client list ->
+  workload:Ycsb.t ->
+  warmup:Sim.Time.span ->
+  duration:Sim.Time.span ->
+  ?leader_node:Cluster.Node.t ->
+  unit ->
+  Metrics.t
+(** Drives the engine itself (run this from outside any coroutine, after
+    the cluster has a leader). [leader_node] enables CPU-utilization and
+    crash reporting in the metrics. *)

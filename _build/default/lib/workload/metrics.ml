@@ -1,0 +1,30 @@
+type t = {
+  duration : Sim.Time.span;
+  completed : int;
+  failed : int;
+  latency : Sim.Hist.t;
+  leader_utilization : float;
+  leader_crashed : bool;
+}
+
+let throughput t =
+  if t.duration <= 0 then 0.0
+  else float_of_int t.completed /. Sim.Time.to_sec_f t.duration
+
+let mean_latency_ms t = Sim.Hist.mean t.latency /. 1000.0
+let p99_latency_ms t = Sim.Time.to_ms_f (Sim.Hist.p99 t.latency)
+let p50_latency_ms t = Sim.Time.to_ms_f (Sim.Hist.p50 t.latency)
+
+let ratio a b = if b = 0.0 then 0.0 else a /. b
+
+let normalize t ~baseline =
+  ( ratio (throughput t) (throughput baseline),
+    ratio (mean_latency_ms t) (mean_latency_ms baseline),
+    ratio (p99_latency_ms t) (p99_latency_ms baseline) )
+
+let pp fmt t =
+  Format.fprintf fmt
+    "%.0f ops/s, avg %.2f ms, p99 %.2f ms (%d ok, %d failed, leader cpu %.0f%%%s)"
+    (throughput t) (mean_latency_ms t) (p99_latency_ms t) t.completed t.failed
+    (100.0 *. t.leader_utilization)
+    (if t.leader_crashed then ", LEADER CRASHED" else "")

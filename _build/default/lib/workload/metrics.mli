@@ -1,0 +1,24 @@
+(** Results of one benchmark run: the three quantities in every figure of
+    the paper (throughput, average latency, P99 latency), plus diagnostics. *)
+
+type t = {
+  duration : Sim.Time.span;  (** measurement window *)
+  completed : int;
+  failed : int;
+  latency : Sim.Hist.t;  (** successful ops completing in the window *)
+  leader_utilization : float;  (** leader CPU over the window, 0..1 *)
+  leader_crashed : bool;
+}
+
+val throughput : t -> float
+(** Successful operations per second. *)
+
+val mean_latency_ms : t -> float
+val p99_latency_ms : t -> float
+val p50_latency_ms : t -> float
+
+val normalize : t -> baseline:t -> float * float * float
+(** [(throughput, mean latency, p99 latency)] of [t] relative to
+    [baseline] — the Figure 1 normalization. *)
+
+val pp : Format.formatter -> t -> unit

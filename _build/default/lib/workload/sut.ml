@@ -1,0 +1,9 @@
+(** A system under test, as the benchmark harness sees it: enough to aim
+    clients at it, find the leader, and pick fault-injection victims. *)
+
+type t = {
+  name : string;
+  leader_node : Cluster.Node.t;
+  follower_nodes : Cluster.Node.t list;
+  make_clients : count:int -> Driver.client list;
+}

@@ -1,0 +1,49 @@
+type t = {
+  record_count : int;
+  value_size : int;
+  read_proportion : float;
+  zipf_theta : float;
+}
+
+let update_heavy =
+  { record_count = 500_000; value_size = 1024; read_proportion = 0.0; zipf_theta = 0.99 }
+
+let scaled ?records ?value_size t =
+  {
+    t with
+    record_count = Option.value ~default:t.record_count records;
+    value_size = Option.value ~default:t.value_size value_size;
+  }
+
+type op = Update of { key : string; value : string } | Read of { key : string }
+
+let key_of_rank _ rank = "user" ^ string_of_int rank
+
+type gen = { wl : t; rng : Sim.Rng.t; zipf : Sim.Rng.t -> int; value_pool : string array }
+
+(* the zipfian constants cost O(record_count) to compute; share them across
+   the hundreds of client generators of a run *)
+let zipf_memo : (int * float, Sim.Rng.t -> int) Hashtbl.t = Hashtbl.create 8
+
+let make_gen wl rng =
+  let key = (wl.record_count, wl.zipf_theta) in
+  let zipf =
+    match Hashtbl.find_opt zipf_memo key with
+    | Some z -> z
+    | None ->
+      let z = Sim.Dist.make_zipfian ~n:wl.record_count ~theta:wl.zipf_theta in
+      Hashtbl.replace zipf_memo key z;
+      z
+  in
+  (* a small pool of pre-built values: contents are irrelevant to the
+     simulation, size drives the cost model *)
+  let value_pool =
+    Array.init 8 (fun i -> String.make wl.value_size (Char.chr (Char.code 'a' + i)))
+  in
+  { wl; rng; zipf; value_pool }
+
+let next_op g =
+  let rank = g.zipf g.rng in
+  let key = key_of_rank g.wl rank in
+  if Sim.Rng.unit_float g.rng < g.wl.read_proportion then Read { key }
+  else Update { key; value = g.value_pool.(Sim.Rng.int g.rng (Array.length g.value_pool)) }

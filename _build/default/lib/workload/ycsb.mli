@@ -1,0 +1,32 @@
+(** YCSB-style workload generation (§2.1).
+
+    The paper drives each system with the YCSB write workload, updating
+    500K records, from 256–1200 concurrent closed-loop clients. Keys follow
+    YCSB's zipfian request distribution; values are fixed-size blobs. *)
+
+type t = {
+  record_count : int;
+  value_size : int;
+  read_proportion : float;  (** 0.0 = pure updates (the paper's setting) *)
+  zipf_theta : float;  (** YCSB default 0.99 *)
+}
+
+val update_heavy : t
+(** The paper's workload: 100% updates over 500K records, 1 KiB values. *)
+
+val scaled : ?records:int -> ?value_size:int -> t -> t
+(** Shrink a workload for quick tests. *)
+
+type op =
+  | Update of { key : string; value : string }
+  | Read of { key : string }
+
+val key_of_rank : t -> int -> string
+(** YCSB-style key name for a record rank, e.g. ["user3342"]. *)
+
+type gen
+(** Per-client operation generator (owns its RNG stream). *)
+
+val make_gen : t -> Sim.Rng.t -> gen
+
+val next_op : gen -> op

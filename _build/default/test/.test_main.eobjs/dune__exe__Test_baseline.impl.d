@@ -1,0 +1,1 @@
+test/test_baseline.ml: Alcotest Baseline Cluster Depfast List Raft Sim Workload

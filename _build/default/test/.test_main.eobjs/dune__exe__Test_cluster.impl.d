@@ -1,0 +1,1 @@
+test/test_cluster.ml: Alcotest Cluster Depfast Float List Sim String

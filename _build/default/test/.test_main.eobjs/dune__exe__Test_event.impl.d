@@ -1,0 +1,1 @@
+test/test_event.ml: Alcotest Array Depfast Event Fun Int64 List QCheck QCheck_alcotest Sim

@@ -1,0 +1,1 @@
+test/test_extensions.ml: Alcotest Cluster Depfast List Raft Sim

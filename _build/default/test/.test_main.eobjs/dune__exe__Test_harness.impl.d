@@ -1,0 +1,1 @@
+test/test_harness.ml: Alcotest Cluster Depfast Float Harness List Sim Workload

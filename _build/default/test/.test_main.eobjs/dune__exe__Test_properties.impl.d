@@ -1,0 +1,1 @@
+test/test_properties.ml: Cluster Depfast Fun Gen Hashtbl Int64 List Option Printf QCheck QCheck_alcotest Raft Sim

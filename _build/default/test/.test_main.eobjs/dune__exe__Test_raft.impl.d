@@ -1,0 +1,1 @@
+test/test_raft.ml: Alcotest Cluster Depfast Hashtbl List Option Printf Raft Sim

@@ -1,0 +1,1 @@
+test/test_sched.ml: Alcotest Depfast Event List Sched Sim Spg String Trace

@@ -1,0 +1,1 @@
+test/test_sim.ml: Alcotest Array Dist Engine Float Fun Gen Heap Hist List QCheck QCheck_alcotest Rng Sim Time

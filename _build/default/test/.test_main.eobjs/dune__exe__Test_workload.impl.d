@@ -1,0 +1,1 @@
+test/test_workload.ml: Alcotest Cluster Depfast Float Hashtbl List Option Sim String Workload

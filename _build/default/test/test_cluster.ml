@@ -1,0 +1,392 @@
+(* Tests for the cluster substrate: stations, disk, memory, network, RPC,
+   and the Table-1 fault injectors. *)
+
+let check_bool = Alcotest.(check bool)
+let check_int = Alcotest.(check int)
+
+let make_sched ?(seed = 1L) () = Depfast.Sched.create (Sim.Engine.create ~seed ())
+
+(* ------------------------------------------------------------------ *)
+(* Station *)
+
+let test_station_single_server_fifo () =
+  let s = make_sched () in
+  let st = Cluster.Station.create s ~servers:1 ~name:"cpu" () in
+  let done_at = ref [] in
+  let submit tag work =
+    let ev = Cluster.Station.submit st ~work () in
+    Depfast.Event.on_fire ev (fun () -> done_at := (tag, Depfast.Sched.now s) :: !done_at)
+  in
+  submit "a" 100;
+  submit "b" 50;
+  Depfast.Sched.run s;
+  (* FIFO: a (100us) finishes at 100, then b at 150 despite being shorter *)
+  Alcotest.(check (list (pair string int)))
+    "fifo order" [ ("a", 100); ("b", 150) ] (List.rev !done_at)
+
+let test_station_parallel_servers () =
+  let s = make_sched () in
+  let st = Cluster.Station.create s ~servers:2 ~name:"cpu" () in
+  let finished = ref [] in
+  for i = 1 to 2 do
+    let ev = Cluster.Station.submit st ~work:100 () in
+    Depfast.Event.on_fire ev (fun () -> finished := (i, Depfast.Sched.now s) :: !finished)
+  done;
+  Depfast.Sched.run s;
+  List.iter (fun (_, t) -> check_int "parallel completion" 100 t) !finished
+
+let test_station_speed_factor () =
+  let s = make_sched () in
+  let st = Cluster.Station.create s ~servers:1 ~name:"cpu" () in
+  Cluster.Station.set_speed st 20.0;
+  let at = ref 0 in
+  Depfast.Event.on_fire (Cluster.Station.submit st ~work:100 ()) (fun () ->
+      at := Depfast.Sched.now s);
+  Depfast.Sched.run s;
+  check_int "20x slower" 2000 !at
+
+let test_station_utilization () =
+  let s = make_sched () in
+  let st = Cluster.Station.create s ~servers:2 ~name:"cpu" () in
+  (* one server busy for the whole horizon = 50% utilization *)
+  ignore (Cluster.Station.submit st ~work:1000 ());
+  Depfast.Sched.run s;
+  let u = Cluster.Station.utilization st in
+  check_bool "50% util" true (Float.abs (u -. 0.5) < 0.01);
+  check_int "completed" 1 (Cluster.Station.completed_jobs st)
+
+let test_station_queue_length () =
+  let s = make_sched () in
+  let st = Cluster.Station.create s ~servers:1 ~name:"cpu" () in
+  ignore (Cluster.Station.submit st ~work:100 ());
+  ignore (Cluster.Station.submit st ~work:100 ());
+  ignore (Cluster.Station.submit st ~work:100 ());
+  check_int "two queued" 2 (Cluster.Station.queue_length st);
+  check_int "one busy" 1 (Cluster.Station.busy_servers st);
+  Depfast.Sched.run s
+
+(* ------------------------------------------------------------------ *)
+(* Memory *)
+
+let test_memory_pressure_and_penalty () =
+  let m = Cluster.Memory.create ~soft_cap:1000 ~hard_cap:4000 () in
+  Cluster.Memory.alloc m 500;
+  check_bool "no pressure" true (Cluster.Memory.penalty m = 1.0);
+  Cluster.Memory.alloc m 1000;
+  (* used 1500, soft 1000 -> pressure 1.5 -> penalty 1 + 4*0.5 = 3 *)
+  check_bool "pressure penalty" true (Float.abs (Cluster.Memory.penalty m -. 3.0) < 1e-9);
+  Cluster.Memory.free m 1000;
+  check_int "free" 500 (Cluster.Memory.used m)
+
+let test_memory_oom_fires_once () =
+  let m = Cluster.Memory.create ~soft_cap:100 ~hard_cap:200 () in
+  let ooms = ref 0 in
+  Cluster.Memory.on_oom m (fun () -> incr ooms);
+  Cluster.Memory.alloc m 150;
+  check_int "below hard" 0 !ooms;
+  Cluster.Memory.alloc m 100;
+  check_int "oom" 1 !ooms;
+  Cluster.Memory.alloc m 100;
+  check_int "only once" 1 !ooms
+
+(* ------------------------------------------------------------------ *)
+(* Disk *)
+
+let test_disk_write_cost () =
+  let s = make_sched () in
+  let d = Cluster.Disk.create s ~node_id:0 ~base_latency:100 ~bandwidth_mb_s:200.0 () in
+  let at = ref 0 in
+  (* 200 MB/s = 200 bytes/us -> 20_000 bytes = 100us transfer + 100us base *)
+  Depfast.Event.on_fire (Cluster.Disk.write d ~bytes:20_000) (fun () ->
+      at := Depfast.Sched.now s);
+  Depfast.Sched.run s;
+  check_int "write cost" 200 !at
+
+let test_disk_bandwidth_throttle () =
+  let s = make_sched () in
+  let d = Cluster.Disk.create s ~node_id:0 ~base_latency:0 ~bandwidth_mb_s:200.0 () in
+  Cluster.Disk.set_bandwidth_factor d 0.05;
+  let at = ref 0 in
+  Depfast.Event.on_fire (Cluster.Disk.write d ~bytes:10_000) (fun () ->
+      at := Depfast.Sched.now s);
+  Depfast.Sched.run s;
+  check_int "throttled 20x" 1000 !at
+
+let test_disk_fsync_after_write () =
+  let s = make_sched () in
+  let d = Cluster.Disk.create s ~node_id:0 () in
+  let order = ref [] in
+  Depfast.Event.on_fire (Cluster.Disk.write d ~bytes:1000) (fun () -> order := "w" :: !order);
+  Depfast.Event.on_fire (Cluster.Disk.fsync d) (fun () -> order := "f" :: !order);
+  Depfast.Sched.run s;
+  Alcotest.(check (list string)) "write before fsync" [ "w"; "f" ] (List.rev !order)
+
+(* ------------------------------------------------------------------ *)
+(* Network *)
+
+let test_net_delivery_and_fifo () =
+  let s = make_sched () in
+  let net = Cluster.Net.create s ~latency:(Sim.Dist.Constant 100.0) () in
+  let a = Cluster.Node.create s ~id:0 ~name:"a" () in
+  let b = Cluster.Node.create s ~id:1 ~name:"b" () in
+  let got = ref [] in
+  Cluster.Net.register net a ~handler:(fun ~src:_ _ -> ());
+  Cluster.Net.register net b ~handler:(fun ~src:_ m -> got := m :: !got);
+  Cluster.Net.send net ~src:0 ~dst:1 "first";
+  Cluster.Net.send net ~src:0 ~dst:1 "second";
+  Depfast.Sched.run s;
+  Alcotest.(check (list string)) "in order" [ "first"; "second" ] (List.rev !got);
+  check_int "delivered" 2 (Cluster.Net.delivered_count net)
+
+let test_net_partition_drops () =
+  let s = make_sched () in
+  let net = Cluster.Net.create s () in
+  let a = Cluster.Node.create s ~id:0 ~name:"a" () in
+  let b = Cluster.Node.create s ~id:1 ~name:"b" () in
+  let got = ref 0 in
+  Cluster.Net.register net a ~handler:(fun ~src:_ () -> ());
+  Cluster.Net.register net b ~handler:(fun ~src:_ () -> incr got);
+  Cluster.Net.partition net 0 1;
+  Cluster.Net.send net ~src:0 ~dst:1 ();
+  Depfast.Sched.run s;
+  check_int "dropped" 0 !got;
+  Cluster.Net.heal net 0 1;
+  Cluster.Net.send net ~src:0 ~dst:1 ();
+  Depfast.Sched.run s;
+  check_int "healed" 1 !got
+
+let test_net_dead_node_drops () =
+  let s = make_sched () in
+  let net = Cluster.Net.create s () in
+  let a = Cluster.Node.create s ~id:0 ~name:"a" () in
+  let b = Cluster.Node.create s ~id:1 ~name:"b" () in
+  let got = ref 0 in
+  Cluster.Net.register net a ~handler:(fun ~src:_ () -> ());
+  Cluster.Net.register net b ~handler:(fun ~src:_ () -> incr got);
+  Cluster.Node.crash b;
+  Cluster.Net.send net ~src:0 ~dst:1 ();
+  Depfast.Sched.run s;
+  check_int "to dead dropped" 0 !got
+
+let test_net_nic_delay () =
+  let s = make_sched () in
+  let net = Cluster.Net.create s ~latency:(Sim.Dist.Constant 100.0) () in
+  let a = Cluster.Node.create s ~id:0 ~name:"a" () in
+  let b = Cluster.Node.create s ~id:1 ~name:"b" () in
+  let at = ref 0 in
+  Cluster.Net.register net a ~handler:(fun ~src:_ () -> ());
+  Cluster.Net.register net b ~handler:(fun ~src:_ () -> at := Depfast.Sched.now s);
+  Cluster.Node.set_nic_delay b (Sim.Time.ms 400);
+  Cluster.Net.send net ~src:0 ~dst:1 ();
+  Depfast.Sched.run s;
+  check_int "tc delay applied" (Sim.Time.ms 400 + 100) !at
+
+(* ------------------------------------------------------------------ *)
+(* RPC *)
+
+let rpc_pair () =
+  let s = make_sched () in
+  let rpc : (string, string) Cluster.Rpc.t = Cluster.Rpc.create s () in
+  let a = Cluster.Node.create s ~id:0 ~name:"a" () in
+  let b = Cluster.Node.create s ~id:1 ~name:"b" () in
+  Cluster.Rpc.attach rpc a;
+  (s, rpc, a, b)
+
+let test_rpc_roundtrip () =
+  let s, rpc, a, b = rpc_pair () in
+  Cluster.Rpc.serve rpc ~node:b ~handler:(fun ~src:_ req -> Some (req ^ "-pong"));
+  let got = ref None in
+  Depfast.Sched.spawn s ~node:0 (fun () ->
+      let call = Cluster.Rpc.call rpc ~src:a ~dst:1 "ping" in
+      Depfast.Sched.wait s (Cluster.Rpc.event call);
+      got := Cluster.Rpc.response call);
+  Depfast.Sched.run s;
+  Alcotest.(check (option string)) "reply" (Some "ping-pong") !got
+
+let test_rpc_handler_can_wait () =
+  let s, rpc, a, b = rpc_pair () in
+  Cluster.Rpc.serve rpc ~node:b ~handler:(fun ~src:_ req ->
+      Cluster.Node.cpu_work b (Sim.Time.ms 5);
+      Some req);
+  let at = ref 0 in
+  Depfast.Sched.spawn s ~node:0 (fun () ->
+      let call = Cluster.Rpc.call rpc ~src:a ~dst:1 "x" in
+      Depfast.Sched.wait s (Cluster.Rpc.event call);
+      at := Depfast.Sched.now s);
+  Depfast.Sched.run s;
+  check_bool "handler cpu time included" true (!at > Sim.Time.ms 5)
+
+let test_rpc_memory_accounting () =
+  let s, rpc, a, b = rpc_pair () in
+  Cluster.Rpc.serve rpc ~node:b ~handler:(fun ~src:_ req -> Some req);
+  let baseline = Cluster.Memory.used (Cluster.Node.memory a) in
+  Depfast.Sched.spawn s ~node:0 (fun () ->
+      let call = Cluster.Rpc.call rpc ~src:a ~dst:1 ~bytes:4096 "x" in
+      check_int "charged while in flight" (baseline + 4096)
+        (Cluster.Memory.used (Cluster.Node.memory a));
+      check_int "outstanding tracked" 4096 (Cluster.Rpc.outstanding_bytes rpc ~node:0);
+      Depfast.Sched.wait s (Cluster.Rpc.event call);
+      check_int "released on reply" baseline (Cluster.Memory.used (Cluster.Node.memory a)));
+  Depfast.Sched.run s
+
+let test_rpc_abandon_releases () =
+  let s, rpc, a, b = rpc_pair () in
+  (* no handler installed: the call would hang forever *)
+  ignore b;
+  let baseline = Cluster.Memory.used (Cluster.Node.memory a) in
+  Depfast.Sched.spawn s ~node:0 (fun () ->
+      let call = Cluster.Rpc.call rpc ~src:a ~dst:1 ~bytes:1024 "x" in
+      match Depfast.Sched.wait_timeout s (Cluster.Rpc.event call) (Sim.Time.ms 100) with
+      | Depfast.Sched.Timed_out ->
+        Cluster.Rpc.abandon call;
+        check_int "released on abandon" baseline (Cluster.Memory.used (Cluster.Node.memory a))
+      | Depfast.Sched.Ready -> Alcotest.fail "unexpected reply");
+  Depfast.Sched.run s
+
+let test_rpc_broadcast_quorum_and_discard () =
+  let s = make_sched () in
+  let rpc : (string, string) Cluster.Rpc.t = Cluster.Rpc.create s () in
+  let caller = Cluster.Node.create s ~id:9 ~name:"caller" () in
+  Cluster.Rpc.attach rpc caller;
+  let replicas =
+    List.map
+      (fun i ->
+        let n = Cluster.Node.create s ~id:i ~name:(string_of_int i) () in
+        let delay = if i = 2 then Sim.Time.sec 30 else Sim.Time.ms i in
+        Cluster.Rpc.serve rpc ~node:n ~handler:(fun ~src:_ req ->
+            Cluster.Node.cpu_work n delay;
+            Some req);
+        n)
+      [ 0; 1; 2 ]
+  in
+  ignore replicas;
+  let completed = ref false in
+  Depfast.Sched.spawn s ~node:9 (fun () ->
+      let q, calls =
+        Cluster.Rpc.broadcast rpc ~src:caller ~dsts:[ 0; 1; 2 ] ~arity:Depfast.Event.Majority
+          "hello"
+      in
+      Depfast.Sched.wait s q;
+      completed := true;
+      (* quorum met at ~1ms; the straggler's call must be abandoned *)
+      check_bool "before straggler" true (Depfast.Sched.now s < Sim.Time.sec 1);
+      let straggler = List.nth calls 2 in
+      check_bool "straggler abandoned" true
+        (Depfast.Event.is_abandoned (Cluster.Rpc.event straggler)));
+  Depfast.Sched.run ~until:(Sim.Time.sec 40) s;
+  check_bool "completed" true !completed
+
+(* ------------------------------------------------------------------ *)
+(* Faults (Table 1) *)
+
+let measure_cpu_work_under fault =
+  let s = make_sched () in
+  let n = Cluster.Node.create s ~id:0 ~name:"victim" () in
+  (match fault with None -> () | Some k -> ignore (Cluster.Fault.inject n k));
+  let at = ref 0 in
+  Depfast.Sched.spawn s ~node:0 (fun () ->
+      Cluster.Node.cpu_work n (Sim.Time.ms 1);
+      at := Depfast.Sched.now s);
+  Depfast.Sched.run ~until:(Sim.Time.sec 2) s;
+  !at
+
+let test_fault_cpu_slow () =
+  let healthy = measure_cpu_work_under None in
+  let faulty = measure_cpu_work_under (Some Cluster.Fault.Cpu_slow) in
+  check_int "baseline 1ms" (Sim.Time.ms 1) healthy;
+  check_int "20x slower" (Sim.Time.ms 20) faulty
+
+let test_fault_cpu_contention () =
+  let faulty = measure_cpu_work_under (Some Cluster.Fault.Cpu_contention) in
+  check_bool "queueing delay" true (faulty > Sim.Time.ms 2)
+
+let test_fault_mem_contention_penalty () =
+  let faulty = measure_cpu_work_under (Some Cluster.Fault.Mem_contention) in
+  (* pressure 2.0 -> penalty 5x *)
+  check_int "5x slower" (Sim.Time.ms 5) faulty
+
+let test_fault_disk_slow () =
+  let s = make_sched () in
+  let n = Cluster.Node.create s ~id:0 ~name:"victim" () in
+  ignore (Cluster.Fault.inject n Cluster.Fault.Disk_slow);
+  let at = ref 0 in
+  Depfast.Event.on_fire (Cluster.Disk.write (Cluster.Node.disk n) ~bytes:100_000) (fun () ->
+      at := Depfast.Sched.now s);
+  Depfast.Sched.run s;
+  (* 100KB at 10MB/s = 10ms + base *)
+  check_bool "throttled" true (!at > Sim.Time.ms 9)
+
+let test_fault_net_slow () =
+  let s = make_sched () in
+  let n = Cluster.Node.create s ~id:0 ~name:"victim" () in
+  ignore (Cluster.Fault.inject n Cluster.Fault.Net_slow);
+  check_int "400ms nic" (Sim.Time.ms 400) (Cluster.Node.nic_delay n)
+
+let test_fault_clear_restores () =
+  let s = make_sched () in
+  let n = Cluster.Node.create s ~id:0 ~name:"victim" () in
+  let active = Cluster.Fault.inject n Cluster.Fault.Cpu_slow in
+  Cluster.Fault.clear active;
+  let at = ref 0 in
+  Depfast.Sched.spawn s ~node:0 (fun () ->
+      Cluster.Node.cpu_work n (Sim.Time.ms 1);
+      at := Depfast.Sched.now s);
+  Depfast.Sched.run s;
+  check_int "restored" (Sim.Time.ms 1) !at
+
+let test_fault_catalog_complete () =
+  check_int "six fault kinds" 6 (List.length Cluster.Fault.all);
+  List.iter
+    (fun k ->
+      check_bool "has name" true (String.length (Cluster.Fault.name k) > 0);
+      check_bool "has paper injection" true (String.length (Cluster.Fault.paper_injection k) > 0);
+      check_bool "has sim mapping" true (String.length (Cluster.Fault.sim_injection k) > 0))
+    Cluster.Fault.all
+
+let suite =
+  [
+    ( "cluster.station",
+      [
+        Alcotest.test_case "single-server FIFO" `Quick test_station_single_server_fifo;
+        Alcotest.test_case "parallel servers" `Quick test_station_parallel_servers;
+        Alcotest.test_case "speed factor" `Quick test_station_speed_factor;
+        Alcotest.test_case "utilization" `Quick test_station_utilization;
+        Alcotest.test_case "queue length" `Quick test_station_queue_length;
+      ] );
+    ( "cluster.memory",
+      [
+        Alcotest.test_case "pressure and penalty" `Quick test_memory_pressure_and_penalty;
+        Alcotest.test_case "oom fires once" `Quick test_memory_oom_fires_once;
+      ] );
+    ( "cluster.disk",
+      [
+        Alcotest.test_case "write cost" `Quick test_disk_write_cost;
+        Alcotest.test_case "bandwidth throttle" `Quick test_disk_bandwidth_throttle;
+        Alcotest.test_case "fsync after write" `Quick test_disk_fsync_after_write;
+      ] );
+    ( "cluster.net",
+      [
+        Alcotest.test_case "delivery + FIFO links" `Quick test_net_delivery_and_fifo;
+        Alcotest.test_case "partition" `Quick test_net_partition_drops;
+        Alcotest.test_case "dead node" `Quick test_net_dead_node_drops;
+        Alcotest.test_case "nic delay (tc)" `Quick test_net_nic_delay;
+      ] );
+    ( "cluster.rpc",
+      [
+        Alcotest.test_case "roundtrip" `Quick test_rpc_roundtrip;
+        Alcotest.test_case "handler waits" `Quick test_rpc_handler_can_wait;
+        Alcotest.test_case "memory accounting" `Quick test_rpc_memory_accounting;
+        Alcotest.test_case "abandon releases" `Quick test_rpc_abandon_releases;
+        Alcotest.test_case "broadcast quorum + discard" `Quick test_rpc_broadcast_quorum_and_discard;
+      ] );
+    ( "cluster.fault",
+      [
+        Alcotest.test_case "cpu slow" `Quick test_fault_cpu_slow;
+        Alcotest.test_case "cpu contention" `Quick test_fault_cpu_contention;
+        Alcotest.test_case "memory contention" `Quick test_fault_mem_contention_penalty;
+        Alcotest.test_case "disk slow" `Quick test_fault_disk_slow;
+        Alcotest.test_case "net slow" `Quick test_fault_net_slow;
+        Alcotest.test_case "clear restores" `Quick test_fault_clear_restores;
+        Alcotest.test_case "catalog complete" `Quick test_fault_catalog_complete;
+      ] );
+  ]

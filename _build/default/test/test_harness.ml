@@ -1,0 +1,96 @@
+(* Smoke tests of the experiment harness: every table/figure generator runs
+   and produces sane, structurally correct results (tiny parameters). *)
+
+let check_bool = Alcotest.(check bool)
+let check_int = Alcotest.(check int)
+
+let tiny =
+  {
+    Harness.Params.seed = 7L;
+    clients = 32;
+    warmup = Sim.Time.ms 300;
+    duration = Sim.Time.sec 2;
+    records = 2_000;
+    value_size = 1024;
+  }
+
+let test_table1_rows () =
+  let rows = Harness.Table1.rows () in
+  check_int "six faults" 6 (List.length rows);
+  List.iter
+    (fun (name, paper, sim) ->
+      check_bool "named" true (name <> "");
+      check_bool "paper column" true (paper <> "");
+      check_bool "sim column" true (sim <> ""))
+    rows
+
+let test_runner_depfast_cell () =
+  let cell =
+    Harness.Runner.run_cell ~params:tiny ~system:Harness.Runner.Depfast_raft ~n:3
+      ~slow_count:1 ~fault:(Some Cluster.Fault.Cpu_slow) ()
+  in
+  let m = cell.Harness.Runner.metrics in
+  check_bool "throughput > 0" true (Workload.Metrics.throughput m > 100.0);
+  check_bool "no crash" false m.Workload.Metrics.leader_crashed;
+  check_bool "latency sane" true (Workload.Metrics.mean_latency_ms m > 0.1)
+
+let test_runner_all_systems_build () =
+  List.iter
+    (fun system ->
+      let cell =
+        Harness.Runner.run_cell ~params:tiny ~system ~n:3 ~slow_count:1 ~fault:None ()
+      in
+      check_bool
+        (Harness.Runner.system_name system ^ " serves")
+        true
+        (Workload.Metrics.throughput cell.Harness.Runner.metrics > 100.0))
+    Harness.Runner.all_systems
+
+let test_fig2_structure () =
+  let r = Harness.Fig2.run () in
+  check_bool "audit passes" true r.Harness.Fig2.intra_group_tolerant;
+  let greens = List.filter (fun e -> e.Depfast.Spg.color = Depfast.Spg.Green) r.Harness.Fig2.edges in
+  let reds = List.filter (fun e -> e.Depfast.Spg.color = Depfast.Spg.Red) r.Harness.Fig2.edges in
+  (* three quorums x two followers = 6 green edges; 3 client->leader reds *)
+  check_int "six quorum edges" 6 (List.length greens);
+  check_bool "client edges red" true (List.length reds >= 3);
+  List.iter
+    (fun e ->
+      check_int "2-of-3 arity" 2 e.Depfast.Spg.quorum_k;
+      check_int "over 3 children" 3 e.Depfast.Spg.quorum_n)
+    greens;
+  (* every red edge originates at a client (node id >= 100) *)
+  List.iter (fun e -> check_bool "red from client" true (e.Depfast.Spg.src >= 100)) reds
+
+let test_fig3_drift_band_quick () =
+  (* quick single-setup variant of the §3.4 claim: CPU-slow follower on a
+     3-node cluster stays within a loose drift band even at small scale *)
+  let rows = Harness.Fig3.run_setup ~params:tiny ~n:3 () in
+  check_int "seven rows" 7 (List.length rows);
+  let base = List.hd rows in
+  check_bool "baseline row is no-fault" true (base.Harness.Fig3.fault = None);
+  List.iter
+    (fun r ->
+      check_bool
+        (Harness.Runner.fault_name r.Harness.Fig3.fault ^ " tput drift bounded")
+        true
+        (Float.abs r.Harness.Fig3.drift_tput < 0.25))
+    rows
+
+let test_minority_counts () =
+  check_int "3 nodes -> 1 slow" 1 (Harness.Fig3.minority 3);
+  check_int "5 nodes -> 2 slow" 2 (Harness.Fig3.minority 5);
+  check_int "7 nodes -> 3 slow" 3 (Harness.Fig3.minority 7)
+
+let suite =
+  [
+    ( "harness",
+      [
+        Alcotest.test_case "table1 rows" `Quick test_table1_rows;
+        Alcotest.test_case "depfast cell runs" `Quick test_runner_depfast_cell;
+        Alcotest.test_case "all systems build" `Slow test_runner_all_systems_build;
+        Alcotest.test_case "fig2 structure" `Quick test_fig2_structure;
+        Alcotest.test_case "fig3 drift (quick)" `Slow test_fig3_drift_band_quick;
+        Alcotest.test_case "minority sizing" `Quick test_minority_counts;
+      ] );
+  ]

@@ -1,0 +1,202 @@
+(* Additional property-based suites over core data structures and
+   substrate invariants. *)
+
+(* ------------------------------------------------------------------ *)
+(* Rlog: a random sequence of appends/truncations behaves like a list *)
+
+let rlog_ops_gen =
+  QCheck.Gen.(
+    list_size (int_range 1 200)
+      (frequency [ (4, return `Append); (1, map (fun i -> `Truncate i) (int_range 1 220)) ]))
+
+let test_rlog_model =
+  QCheck.Test.make ~name:"rlog behaves like its list model" ~count:300
+    (QCheck.make rlog_ops_gen) (fun ops ->
+      let log = Raft.Rlog.create () in
+      let model = ref [] (* newest first; entry i at position len-i *) in
+      let term_of i = (i mod 5) + 1 in
+      List.iter
+        (fun op ->
+          match op with
+          | `Append ->
+            let index = Raft.Rlog.last_index log + 1 in
+            let e : Raft.Types.entry =
+              { term = term_of index; index; cmd = Raft.Types.Nop; client_id = -1; seq = 0 }
+            in
+            Raft.Rlog.append log e;
+            model := e :: !model
+          | `Truncate i ->
+            Raft.Rlog.truncate_from log i;
+            model := List.filter (fun (e : Raft.Types.entry) -> e.index < i) !model)
+        ops;
+      let len = List.length !model in
+      Raft.Rlog.last_index log = len
+      && Raft.Rlog.last_term log = (match !model with [] -> 0 | e :: _ -> e.term)
+      && List.for_all
+           (fun (e : Raft.Types.entry) -> Raft.Rlog.get log e.index = Some e)
+           !model
+      && Raft.Rlog.get log (len + 1) = None
+      && Raft.Rlog.term_at log 0 = Some 0)
+
+let test_rlog_slice_coherent =
+  QCheck.Test.make ~name:"rlog slice = contiguous window" ~count:200
+    QCheck.(triple (int_range 1 100) (int_range 1 120) (int_range 1 50))
+    (fun (len, from, max_n) ->
+      let log = Raft.Rlog.create () in
+      for i = 1 to len do
+        Raft.Rlog.append log
+          { term = 1; index = i; cmd = Raft.Types.Nop; client_id = -1; seq = 0 }
+      done;
+      let s = Raft.Rlog.slice log ~from ~max:max_n in
+      if from > len then s = []
+      else
+        List.length s = min max_n (len - from + 1)
+        && List.for_all2
+             (fun (e : Raft.Types.entry) k -> e.index = from + k)
+             s
+             (List.init (List.length s) Fun.id))
+
+(* ------------------------------------------------------------------ *)
+(* KV sessions: replaying any prefix of a command stream never double-
+   applies *)
+
+let test_kv_exactly_once =
+  QCheck.Test.make ~name:"kv dedup: random replays apply exactly once" ~count:200
+    QCheck.(list_of_size Gen.(int_range 1 60) (pair (int_bound 3) (int_bound 9)))
+    (fun cmds ->
+      (* build an entry stream with client retries: each (client, key) cmd
+         appears, sometimes twice, with the same seq *)
+      let kv = Raft.Kv.create () in
+      let reference = Hashtbl.create 16 in
+      let seqs = Hashtbl.create 4 in
+      let index = ref 0 in
+      List.iter
+        (fun (client, key) ->
+          let seq = 1 + Option.value ~default:0 (Hashtbl.find_opt seqs client) in
+          Hashtbl.replace seqs client seq;
+          let e : Raft.Types.entry =
+            {
+              term = 1;
+              index = (incr index; !index);
+              cmd = Raft.Types.Put { key = string_of_int key; value = Printf.sprintf "%d-%d" client seq };
+              client_id = client;
+              seq;
+            }
+          in
+          ignore (Raft.Kv.apply kv e);
+          (* duplicate delivery of the same command *)
+          ignore (Raft.Kv.apply kv e);
+          Hashtbl.replace reference (string_of_int key) (Printf.sprintf "%d-%d" client seq))
+        cmds;
+      Raft.Kv.applied_count kv = List.length cmds
+      && Hashtbl.fold
+           (fun k v acc -> acc && Raft.Kv.get kv k = Some v)
+           reference true)
+
+(* ------------------------------------------------------------------ *)
+(* Network: FIFO per directed link under random latencies *)
+
+let test_net_fifo_property =
+  QCheck.Test.make ~name:"net: per-link delivery is FIFO under random latency" ~count:100
+    QCheck.(pair (int_range 1 60) (int_range 1 1000))
+    (fun (n_msgs, mean_latency) ->
+      let engine = Sim.Engine.create ~seed:(Int64.of_int (n_msgs + mean_latency)) () in
+      let sched = Depfast.Sched.create engine in
+      let net =
+        Cluster.Net.create sched
+          ~latency:(Sim.Dist.Exponential (float_of_int mean_latency))
+          ()
+      in
+      let a = Cluster.Node.create sched ~id:0 ~name:"a" () in
+      let b = Cluster.Node.create sched ~id:1 ~name:"b" () in
+      let got = ref [] in
+      Cluster.Net.register net a ~handler:(fun ~src:_ _ -> ());
+      Cluster.Net.register net b ~handler:(fun ~src:_ m -> got := m :: !got);
+      for i = 1 to n_msgs do
+        Cluster.Net.send net ~src:0 ~dst:1 i
+      done;
+      Sim.Engine.run engine;
+      List.rev !got = List.init n_msgs (fun i -> i + 1))
+
+(* ------------------------------------------------------------------ *)
+(* Event algebra: And/Or/Quorum consistency under random fire subsets *)
+
+let test_event_algebra =
+  QCheck.Test.make ~name:"And = Count n, Or = Count 1 on random fire subsets" ~count:300
+    QCheck.(pair (int_range 1 10) (list (int_bound 9)))
+    (fun (n, fired) ->
+      let mk () = List.init n (fun i -> Depfast.Event.rpc_completion ~peer:i ()) in
+      let attach parent children =
+        List.iter (fun c -> Depfast.Event.add parent ~child:c) children;
+        children
+      in
+      let and_parent = Depfast.Event.and_ () in
+      let and_kids = attach and_parent (mk ()) in
+      let or_parent = Depfast.Event.or_ () in
+      let or_kids = attach or_parent (mk ()) in
+      let cnt_parent = Depfast.Event.quorum (Depfast.Event.Count n) in
+      let cnt_kids = attach cnt_parent (mk ()) in
+      let distinct = List.sort_uniq compare (List.filter (fun i -> i < n) fired) in
+      List.iter
+        (fun i ->
+          Depfast.Event.fire (List.nth and_kids i);
+          Depfast.Event.fire (List.nth or_kids i);
+          Depfast.Event.fire (List.nth cnt_kids i))
+        distinct;
+      let k = List.length distinct in
+      Depfast.Event.is_ready and_parent = (k = n)
+      && Depfast.Event.is_ready cnt_parent = (k = n)
+      && Depfast.Event.is_ready or_parent = (k >= 1))
+
+(* ------------------------------------------------------------------ *)
+(* Station: completions never exceed server parallelism and conserve jobs *)
+
+let test_station_conservation =
+  QCheck.Test.make ~name:"station conserves jobs across random loads" ~count:100
+    QCheck.(pair (int_range 1 8) (list_of_size Gen.(int_range 1 80) (int_range 1 2000)))
+    (fun (servers, works) ->
+      let engine = Sim.Engine.create () in
+      let sched = Depfast.Sched.create engine in
+      let st = Cluster.Station.create sched ~servers ~name:"s" () in
+      let done_count = ref 0 in
+      List.iter
+        (fun w ->
+          Depfast.Event.on_fire (Cluster.Station.submit st ~work:w ()) (fun () ->
+              incr done_count))
+        works;
+      Sim.Engine.run engine;
+      !done_count = List.length works
+      && Cluster.Station.completed_jobs st = List.length works
+      && Cluster.Station.queue_length st = 0
+      && Cluster.Station.busy_servers st = 0)
+
+(* ------------------------------------------------------------------ *)
+(* Hist: quantiles are monotone in q *)
+
+let test_hist_quantile_monotone =
+  QCheck.Test.make ~name:"hist quantiles monotone" ~count:200
+    QCheck.(list_of_size Gen.(int_range 1 300) (int_bound 5_000_000))
+    (fun values ->
+      let h = Sim.Hist.create () in
+      List.iter (Sim.Hist.add h) values;
+      let qs = [ 0.1; 0.25; 0.5; 0.75; 0.9; 0.99; 1.0 ] in
+      let vals = List.map (Sim.Hist.quantile h) qs in
+      let rec mono = function
+        | a :: (b :: _ as rest) -> a <= b && mono rest
+        | _ -> true
+      in
+      mono vals && Sim.Hist.quantile h 1.0 = Sim.Hist.max_value h)
+
+let suite =
+  [
+    ( "properties",
+      [
+        QCheck_alcotest.to_alcotest test_rlog_model;
+        QCheck_alcotest.to_alcotest test_rlog_slice_coherent;
+        QCheck_alcotest.to_alcotest test_kv_exactly_once;
+        QCheck_alcotest.to_alcotest test_net_fifo_property;
+        QCheck_alcotest.to_alcotest test_event_algebra;
+        QCheck_alcotest.to_alcotest test_station_conservation;
+        QCheck_alcotest.to_alcotest test_hist_quantile_monotone;
+      ] );
+  ]

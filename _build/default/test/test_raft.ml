@@ -1,0 +1,258 @@
+(* Integration and safety tests for DepFastRaft. *)
+
+let check_bool = Alcotest.(check bool)
+let check_int = Alcotest.(check int)
+
+let make_env ?(seed = 1L) () =
+  let engine = Sim.Engine.create ~seed () in
+  let trace = Depfast.Trace.create () in
+  Depfast.Sched.create ~trace engine
+
+(* run [body] as a coroutine and drive the simulation; servers run
+   perpetual loops (timers, heartbeats), so bound virtual time *)
+let in_coroutine ?(until = Sim.Time.sec 60) sched body =
+  let finished = ref false in
+  Depfast.Sched.spawn sched ~name:"test-driver" (fun () ->
+      body ();
+      finished := true);
+  Depfast.Sched.run ~until sched;
+  check_bool "driver finished" true !finished
+
+let test_election_on_boot () =
+  let sched = make_env () in
+  let g = Raft.Group.create sched ~n:3 () in
+  in_coroutine sched (fun () ->
+      match Raft.Group.wait_for_leader g () with
+      | None -> Alcotest.fail "no leader elected"
+      | Some leader ->
+        check_bool "leader role" true (Raft.Server.is_leader leader);
+        (* exactly one leader in that term *)
+        let leaders = List.filter Raft.Server.is_leader g.servers in
+        check_int "one leader" 1 (List.length leaders))
+
+let test_put_get_roundtrip () =
+  let sched = make_env () in
+  let g = Raft.Group.create sched ~n:3 () in
+  let clients = Raft.Group.make_clients g ~count:1 () in
+  let client = List.hd clients in
+  in_coroutine sched (fun () ->
+      ignore (Raft.Group.wait_for_leader g ());
+      check_bool "put ok" true (Raft.Client.put client ~key:"k1" ~value:"v1");
+      check_bool "put ok2" true (Raft.Client.put client ~key:"k2" ~value:"v2");
+      (match Raft.Client.get client ~key:"k1" with
+      | Some (Some v) -> Alcotest.(check string) "get k1" "v1" v
+      | _ -> Alcotest.fail "get k1 failed");
+      match Raft.Client.get client ~key:"missing" with
+      | Some None -> ()
+      | _ -> Alcotest.fail "expected committed read of absent key")
+
+let test_replicas_converge () =
+  let sched = make_env () in
+  let g = Raft.Group.create sched ~n:3 () in
+  let clients = Raft.Group.make_clients g ~count:4 () in
+  in_coroutine sched (fun () ->
+      ignore (Raft.Group.wait_for_leader g ());
+      List.iteri
+        (fun ci c ->
+          Depfast.Sched.spawn_here sched (fun () ->
+              for i = 1 to 20 do
+                ignore
+                  (Raft.Client.put c
+                     ~key:(Printf.sprintf "key%d" ((ci * 20) + i))
+                     ~value:(string_of_int i))
+              done))
+        clients;
+      (* let the writes and replication settle *)
+      Depfast.Sched.sleep sched (Sim.Time.sec 3);
+      let digests =
+        List.map (fun s -> Raft.Kv.digest (Raft.Server.kv s)) g.servers
+      in
+      (match digests with
+      | d :: rest -> List.iter (fun d' -> check_int "replica digest" d d') rest
+      | [] -> assert false);
+      let sizes = List.map (fun s -> Raft.Kv.size (Raft.Server.kv s)) g.servers in
+      check_int "all 80 keys" 80 (List.hd sizes))
+
+let test_exactly_once_dedup () =
+  let sched = make_env () in
+  let g = Raft.Group.create sched ~n:3 () in
+  let clients = Raft.Group.make_clients g ~count:1 () in
+  let client = List.hd clients in
+  in_coroutine sched (fun () ->
+      ignore (Raft.Group.wait_for_leader g ());
+      for i = 1 to 10 do
+        ignore (Raft.Client.put client ~key:"ctr" ~value:(string_of_int i))
+      done;
+      Depfast.Sched.sleep sched (Sim.Time.sec 1);
+      (* each op applied exactly once on every replica (Nops don't count) *)
+      List.iter
+        (fun s ->
+          check_int
+            (Printf.sprintf "applied on s%d" (Raft.Server.id s))
+            10
+            (Raft.Kv.applied_count (Raft.Server.kv s)))
+        g.servers)
+
+let test_follower_crash_tolerated () =
+  let sched = make_env () in
+  let g = Raft.Group.create sched ~n:3 () in
+  let clients = Raft.Group.make_clients g ~count:1 () in
+  let client = List.hd clients in
+  in_coroutine sched (fun () ->
+      let leader = Option.get (Raft.Group.wait_for_leader g ()) in
+      let follower =
+        List.find (fun s -> not (Raft.Server.is_leader s)) g.servers
+      in
+      check_bool "put before crash" true (Raft.Client.put client ~key:"a" ~value:"1");
+      Cluster.Node.crash (Raft.Server.node follower);
+      check_bool "put after follower crash" true
+        (Raft.Client.put client ~key:"b" ~value:"2");
+      check_bool "leader unchanged" true (Raft.Server.is_leader leader))
+
+let test_leader_crash_reelection () =
+  let sched = make_env () in
+  let g = Raft.Group.create sched ~n:3 () in
+  let clients = Raft.Group.make_clients g ~count:1 () in
+  let client = List.hd clients in
+  in_coroutine sched (fun () ->
+      let leader = Option.get (Raft.Group.wait_for_leader g ()) in
+      check_bool "put before crash" true (Raft.Client.put client ~key:"a" ~value:"1");
+      let old_term = Raft.Server.term leader in
+      Cluster.Node.crash (Raft.Server.node leader);
+      Depfast.Sched.sleep sched (Sim.Time.sec 2);
+      (match
+         List.find_opt
+           (fun s -> Raft.Server.is_leader s && Cluster.Node.alive (Raft.Server.node s))
+           g.servers
+       with
+      | None -> Alcotest.fail "no new leader"
+      | Some nl -> check_bool "term advanced" true (Raft.Server.term nl > old_term));
+      check_bool "put after re-election" true
+        (Raft.Client.put client ~key:"b" ~value:"2"))
+
+let test_partition_minority_blocks () =
+  let sched = make_env () in
+  let g = Raft.Group.create sched ~n:3 () in
+  in_coroutine sched (fun () ->
+      let leader = Option.get (Raft.Group.wait_for_leader g ()) in
+      let lid = Raft.Server.id leader in
+      let others = List.filter (fun s -> Raft.Server.id s <> lid) g.servers in
+      (* isolate the leader from both followers *)
+      List.iter (fun s -> Cluster.Rpc.partition g.rpc lid (Raft.Server.id s)) others;
+      Depfast.Sched.sleep sched (Sim.Time.sec 2);
+      (* majority side elected a new leader *)
+      let new_leader =
+        List.find_opt (fun s -> Raft.Server.is_leader s) others
+      in
+      check_bool "majority side has leader" true (new_leader <> None);
+      (* heal; old leader must step down *)
+      List.iter (fun s -> Cluster.Rpc.heal g.rpc lid (Raft.Server.id s)) others;
+      Depfast.Sched.sleep sched (Sim.Time.sec 1);
+      let leaders_alive = List.filter Raft.Server.is_leader g.servers in
+      check_int "single leader after heal" 1 (List.length leaders_alive))
+
+let test_leadership_transfer () =
+  let sched = make_env () in
+  let g = Raft.Group.create sched ~n:3 () in
+  let clients = Raft.Group.make_clients g ~count:1 () in
+  let client = List.hd clients in
+  in_coroutine sched (fun () ->
+      let leader = Option.get (Raft.Group.wait_for_leader g ()) in
+      ignore (Raft.Client.put client ~key:"x" ~value:"1");
+      let target =
+        List.find (fun s -> not (Raft.Server.is_leader s)) g.servers
+      in
+      Raft.Server.transfer_leadership leader ~target:(Raft.Server.id target);
+      Depfast.Sched.sleep sched (Sim.Time.sec 1);
+      check_bool "target took over" true (Raft.Server.is_leader target);
+      check_bool "old leader stepped down" false (Raft.Server.is_leader leader);
+      check_bool "writes still work" true (Raft.Client.put client ~key:"y" ~value:"2"))
+
+(* ------------------------------------------------------------------ *)
+(* Safety properties under randomized fault schedules *)
+
+let safety_run seed =
+  let sched = make_env ~seed () in
+  let g = Raft.Group.create sched ~n:5 () in
+  let clients = Raft.Group.make_clients g ~count:3 () in
+  let rng = Sim.Rng.create seed in
+  (* track leaders per term as the run evolves *)
+  let leaders_by_term : (int, int) Hashtbl.t = Hashtbl.create 16 in
+  let violation = ref None in
+  Depfast.Sched.spawn sched ~name:"safety-observer" (fun () ->
+      let rec observe () =
+        List.iter
+          (fun s ->
+            if Raft.Server.is_leader s then begin
+              let tm = Raft.Server.term s in
+              match Hashtbl.find_opt leaders_by_term tm with
+              | Some other when other <> Raft.Server.id s ->
+                violation := Some (Printf.sprintf "two leaders in term %d" tm)
+              | _ -> Hashtbl.replace leaders_by_term tm (Raft.Server.id s)
+            end)
+          g.servers;
+        Depfast.Sched.sleep sched (Sim.Time.ms 20);
+        if Depfast.Sched.now sched < Sim.Time.sec 12 then observe ()
+      in
+      observe ());
+  (* clients hammer away *)
+  List.iteri
+    (fun ci c ->
+      Depfast.Sched.spawn sched ~name:"safety-client" (fun () ->
+          ignore (Raft.Group.wait_for_leader g ());
+          for i = 1 to 30 do
+            ignore
+              (Raft.Client.put c ~key:(Printf.sprintf "k%d" (i mod 7))
+                 ~value:(Printf.sprintf "c%d-%d" ci i))
+          done))
+    clients;
+  (* adversary: random partitions healing over time *)
+  Depfast.Sched.spawn sched ~name:"adversary" (fun () ->
+      for _ = 1 to 6 do
+        Depfast.Sched.sleep sched (Sim.Time.ms (Sim.Rng.int_in rng 300 900));
+        let a = Sim.Rng.int rng 5 and b = Sim.Rng.int rng 5 in
+        if a <> b then begin
+          Cluster.Rpc.partition g.rpc a b;
+          Depfast.Sched.sleep sched (Sim.Time.ms (Sim.Rng.int_in rng 200 700));
+          Cluster.Rpc.heal g.rpc a b
+        end
+      done);
+  Depfast.Sched.run ~until:(Sim.Time.sec 15) sched;
+  (match !violation with
+  | Some v -> Alcotest.fail v
+  | None -> ());
+  (* log matching: committed prefixes agree across all servers *)
+  let min_commit =
+    List.fold_left (fun m s -> min m (Raft.Server.commit_index s)) max_int g.servers
+  in
+  let reference = Raft.Server.log (List.hd g.servers) in
+  for i = 1 to min_commit do
+    let e0 = Option.get (Raft.Rlog.get reference i) in
+    List.iter
+      (fun s ->
+        match Raft.Rlog.get (Raft.Server.log s) i with
+        | Some e when Raft.Types.equal_entry e e0 -> ()
+        | Some _ -> Alcotest.fail (Printf.sprintf "log mismatch at %d" i)
+        | None -> Alcotest.fail (Printf.sprintf "missing committed entry %d" i))
+      g.servers
+  done
+
+let test_safety_randomized () =
+  List.iter safety_run [ 11L; 23L; 47L ]
+
+let suite =
+  [
+    ( "raft.cluster",
+      [
+        Alcotest.test_case "boot election" `Quick test_election_on_boot;
+        Alcotest.test_case "put/get roundtrip" `Quick test_put_get_roundtrip;
+        Alcotest.test_case "replicas converge" `Quick test_replicas_converge;
+        Alcotest.test_case "exactly-once dedup" `Quick test_exactly_once_dedup;
+        Alcotest.test_case "follower crash tolerated" `Quick test_follower_crash_tolerated;
+        Alcotest.test_case "leader crash re-election" `Quick test_leader_crash_reelection;
+        Alcotest.test_case "partition and heal" `Quick test_partition_minority_blocks;
+        Alcotest.test_case "leadership transfer" `Quick test_leadership_transfer;
+      ] );
+    ( "raft.safety",
+      [ Alcotest.test_case "randomized partitions" `Slow test_safety_randomized ] );
+  ]

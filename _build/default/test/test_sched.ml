@@ -1,0 +1,310 @@
+(* Tests for the coroutine scheduler, tracing, and SPG construction. *)
+
+open Depfast
+
+let check_bool = Alcotest.(check bool)
+let check_int = Alcotest.(check int)
+
+let make_sched ?(trace = false) () =
+  let engine = Sim.Engine.create () in
+  let tr = Trace.create ~enabled:trace () in
+  Sched.create ~trace:tr engine
+
+let test_spawn_runs () =
+  let s = make_sched () in
+  let ran = ref false in
+  Sched.spawn s (fun () -> ran := true);
+  Sched.run s;
+  check_bool "body ran" true !ran
+
+let test_sleep_advances_time () =
+  let s = make_sched () in
+  let woke_at = ref (-1) in
+  Sched.spawn s (fun () ->
+      Sched.sleep s (Sim.Time.ms 3);
+      woke_at := Sched.now s);
+  Sched.run s;
+  check_int "woke at 3ms" (Sim.Time.ms 3) !woke_at
+
+let test_wait_fired_later () =
+  let s = make_sched () in
+  let ev = Event.signal () in
+  let got = ref (-1) in
+  Sched.spawn s (fun () ->
+      Sched.wait s ev;
+      got := Sched.now s);
+  ignore (Sim.Engine.schedule (Sched.engine s) ~delay:(Sim.Time.ms 7) (fun () -> Event.fire ev));
+  Sched.run s;
+  check_int "resumed at fire time" (Sim.Time.ms 7) !got
+
+let test_wait_already_ready () =
+  let s = make_sched () in
+  let ev = Event.signal () in
+  Event.fire ev;
+  let resumed = ref false in
+  Sched.spawn s (fun () ->
+      Sched.wait s ev;
+      resumed := true);
+  Sched.run s;
+  check_bool "immediate resume" true !resumed
+
+let test_wait_timeout_expires () =
+  let s = make_sched () in
+  let ev = Event.signal () in
+  let outcome = ref Sched.Ready in
+  Sched.spawn s (fun () -> outcome := Sched.wait_timeout s ev (Sim.Time.ms 10));
+  Sched.run s;
+  check_bool "timed out" true (!outcome = Sched.Timed_out);
+  check_int "clock at timeout" (Sim.Time.ms 10) (Sim.Engine.now (Sched.engine s))
+
+let test_wait_timeout_beaten_by_fire () =
+  let s = make_sched () in
+  let ev = Event.signal () in
+  let outcome = ref Sched.Timed_out in
+  Sched.spawn s (fun () -> outcome := Sched.wait_timeout s ev (Sim.Time.ms 10));
+  ignore (Sim.Engine.schedule (Sched.engine s) ~delay:(Sim.Time.ms 2) (fun () -> Event.fire ev));
+  Sched.run s;
+  check_bool "ready" true (!outcome = Sched.Ready);
+  (* the cancelled timeout timer must not keep the engine busy *)
+  check_int "no pending work" 0 (Sim.Engine.pending (Sched.engine s))
+
+let test_quorum_wait_coroutines () =
+  (* one coroutine per replica fires its rpc event after a delay; waiting on
+     the majority quorum resumes at the 2nd-fastest, not the slowest *)
+  let s = make_sched () in
+  let q = Event.quorum Event.Majority in
+  let delays = [ (0, 5); (1, 400); (2, 9) ] in
+  List.iter
+    (fun (peer, ms) ->
+      let ev = Event.rpc_completion ~peer () in
+      Event.add q ~child:ev;
+      Sched.spawn s ~node:peer (fun () ->
+          Sched.sleep s (Sim.Time.ms ms);
+          Event.fire ev))
+    delays;
+  let resumed_at = ref (-1) in
+  Sched.spawn s ~node:10 (fun () ->
+      Sched.wait s q;
+      resumed_at := Sched.now s);
+  Sched.run s;
+  check_int "majority at 9ms, not 400ms" (Sim.Time.ms 9) !resumed_at
+
+let test_yield_interleaving () =
+  let s = make_sched () in
+  let log = ref [] in
+  let worker tag =
+    Sched.spawn s (fun () ->
+        log := (tag ^ "1") :: !log;
+        Sched.yield s;
+        log := (tag ^ "2") :: !log)
+  in
+  worker "a";
+  worker "b";
+  Sched.run s;
+  Alcotest.(check (list string)) "interleaved" [ "a1"; "b1"; "a2"; "b2" ] (List.rev !log)
+
+let test_spawn_here_inherits_node () =
+  let s = make_sched () in
+  let child_node = ref (-2) in
+  Sched.spawn s ~node:5 (fun () ->
+      Sched.spawn_here s (fun () -> child_node := Sched.current_node s));
+  Sched.run s;
+  check_int "inherited" 5 !child_node
+
+let test_timer_event () =
+  let s = make_sched () in
+  let at = ref (-1) in
+  Sched.spawn s (fun () ->
+      let ev = Sched.timer s (Sim.Time.ms 4) in
+      Sched.wait s ev;
+      at := Sched.now s);
+  Sched.run s;
+  check_int "timer fires" (Sim.Time.ms 4) !at
+
+let test_trace_records_quorum_arity () =
+  let s = make_sched ~trace:true () in
+  let q = Event.quorum Event.Majority in
+  List.iter
+    (fun peer ->
+      let ev = Event.rpc_completion ~peer () in
+      Event.add q ~child:ev;
+      Sched.spawn s ~node:peer (fun () ->
+          Sched.sleep s (Sim.Time.ms peer);
+          Event.fire ev))
+    [ 1; 2; 3 ];
+  Sched.spawn s ~node:0 ~name:"leader" (fun () -> Sched.wait s q);
+  Sched.run s;
+  let w =
+    List.find (fun w -> w.Trace.event_kind = Event.Quorum) (Trace.waits (Sched.trace s))
+  in
+  check_int "k" 2 w.Trace.quorum_k;
+  check_int "n" 3 w.Trace.quorum_n;
+  check_int "node" 0 w.Trace.node;
+  Alcotest.(check (list int)) "peers" [ 1; 2; 3 ] w.Trace.peers;
+  Alcotest.(check (list int)) "no stallers" [] w.Trace.stallers
+
+let run_mixed_trace () =
+  (* node 0 does a quorum wait over nodes 1-3 and a single rpc wait on
+     node 4; node 9 (a "client") waits on node 0 *)
+  let s = make_sched ~trace:true () in
+  let q = Event.quorum Event.Majority in
+  let replies = List.map (fun peer -> Event.rpc_completion ~peer ()) [ 1; 2; 3 ] in
+  List.iter (fun ev -> Event.add q ~child:ev) replies;
+  List.iter Event.fire replies;
+  let single = Event.rpc_completion ~peer:4 () in
+  let client_wait = Event.rpc_completion ~peer:0 () in
+  Sched.spawn s ~node:0 ~name:"server" (fun () ->
+      Sched.wait s q;
+      Sched.wait s single;
+      Event.fire client_wait);
+  Sched.spawn s ~node:9 ~name:"client" (fun () -> Sched.wait s client_wait);
+  ignore (Sim.Engine.schedule (Sched.engine s) ~delay:10 (fun () -> Event.fire single));
+  Sched.run s;
+  s
+
+let test_spg_edges_and_colors () =
+  let s = run_mixed_trace () in
+  let g = Spg.of_trace (Sched.trace s) in
+  let find src dst =
+    List.find (fun e -> e.Spg.src = src && e.Spg.dst = dst) (Spg.edges g)
+  in
+  let quorum_edge = find 0 1 in
+  check_bool "quorum edge green" true (quorum_edge.Spg.color = Spg.Green);
+  check_int "quorum k" 2 quorum_edge.Spg.quorum_k;
+  let single_edge = find 0 4 in
+  check_bool "single edge red" true (single_edge.Spg.color = Spg.Red);
+  let client_edge = find 9 0 in
+  check_bool "client edge red" true (client_edge.Spg.color = Spg.Red);
+  Alcotest.(check (list int)) "nodes" [ 0; 1; 2; 3; 4; 9 ] (Spg.nodes g)
+
+let test_audit_flags_single_waits () =
+  let s = run_mixed_trace () in
+  let violations = Spg.audit (Sched.trace s) in
+  (* two violations: server->4 and client->0 *)
+  check_int "two violations" 2 (List.length violations);
+  let allowed = Spg.audit ~allow:(fun ~node -> node = 9) (Sched.trace s) in
+  check_int "client exempted" 1 (List.length allowed);
+  check_int "remaining is node 4 wait" 4 (List.hd allowed).Spg.v_peer;
+  check_bool "not tolerant" false (Spg.is_fail_slow_tolerant (Sched.trace s))
+
+let test_audit_pure_quorum_tolerant () =
+  let s = make_sched ~trace:true () in
+  let q = Event.quorum Event.Majority in
+  let replies = List.map (fun peer -> Event.rpc_completion ~peer ()) [ 1; 2; 3 ] in
+  List.iter (fun ev -> Event.add q ~child:ev) replies;
+  List.iter Event.fire replies;
+  Sched.spawn s ~node:0 (fun () -> Sched.wait s q);
+  Sched.run s;
+  check_bool "tolerant" true (Spg.is_fail_slow_tolerant (Sched.trace s))
+
+let test_spg_dot_output () =
+  let s = run_mixed_trace () in
+  let dot = Spg.to_dot ~node_name:(fun n -> if n = 9 then "c1" else "s" ^ string_of_int n)
+      (Spg.of_trace (Sched.trace s))
+  in
+  check_bool "digraph" true (String.length dot > 0 && String.sub dot 0 7 = "digraph");
+  let contains needle hay =
+    let nl = String.length needle and hl = String.length hay in
+    let rec go i = i + nl <= hl && (String.sub hay i nl = needle || go (i + 1)) in
+    go 0
+  in
+  check_bool "client edge" true (contains "c1 -> s0" dot);
+  check_bool "green quorum edge" true (contains "color=green" dot);
+  check_bool "red single edge" true (contains "color=red" dot)
+
+let test_many_coroutines_scale () =
+  (* 10k coroutines each sleeping then firing into one big quorum *)
+  let s = make_sched () in
+  let n = 10_000 in
+  let q = Event.quorum (Event.Count (n / 2)) in
+  for i = 0 to n - 1 do
+    let ev = Event.signal () in
+    Event.add q ~child:ev;
+    Sched.spawn s (fun () ->
+        Sched.sleep s (Sim.Time.us (i mod 100));
+        Event.fire ev)
+  done;
+  let done_ = ref false in
+  Sched.spawn s (fun () ->
+      Sched.wait s q;
+      done_ := true);
+  Sched.run s;
+  check_bool "completed" true !done_
+
+let test_trace_stats_by_label () =
+  let engine = Sim.Engine.create () in
+  let trace = Depfast.Trace.create ~enabled:true () in
+  let s = Sched.create ~trace engine in
+  Sched.spawn s ~node:0 (fun () ->
+      let ev = Event.rpc_completion ~label:"append" ~peer:1 () in
+      ignore (Sim.Engine.schedule engine ~delay:10 (fun () -> Event.fire ev));
+      Sched.wait s ev;
+      let ev2 = Event.signal ~label:"commit" () in
+      ignore (Sim.Engine.schedule engine ~delay:25 (fun () -> Event.fire ev2));
+      Sched.wait s ev2);
+  Sched.run s;
+  let stats = Depfast.Trace_stats.of_trace Depfast.Trace_stats.By_label trace in
+  Alcotest.(check (list string)) "keys" [ "append"; "commit" ] (Depfast.Trace_stats.keys stats);
+  match Depfast.Trace_stats.histogram stats "append" with
+  | Some h ->
+    check_int "one append wait" 1 (Sim.Hist.count h);
+    check_int "waited 10us" 10 (Sim.Hist.max_value h)
+  | None -> Alcotest.fail "missing label"
+
+let test_trace_stats_by_edge () =
+  let s = run_mixed_trace () in
+  let stats = Depfast.Trace_stats.of_trace Depfast.Trace_stats.By_edge (Sched.trace s) in
+  let keys = Depfast.Trace_stats.keys stats in
+  check_bool "client->leader edge" true (List.mem "n9->n0" keys);
+  check_bool "quorum edges" true (List.mem "n0->n1" keys);
+  (* self-waits (the wal on node 0) produce no edge *)
+  check_bool "no self edge" true (not (List.mem "n0->n0" keys))
+
+let test_trace_stats_online () =
+  let engine = Sim.Engine.create () in
+  let trace = Depfast.Trace.create ~enabled:true () in
+  let s = Sched.create ~trace engine in
+  let stats = Depfast.Trace_stats.create Depfast.Trace_stats.By_node in
+  Depfast.Trace_stats.attach stats trace;
+  Sched.spawn s ~node:3 (fun () -> Sched.sleep s 50 |> ignore);
+  Sched.spawn s ~node:3 (fun () ->
+      let ev = Event.signal () in
+      match Sched.wait_timeout s ev 100 with _ -> ());
+  Sched.run s;
+  check_bool "online records" true (Depfast.Trace_stats.histogram stats "n3" <> None);
+  check_int "timeout counted" 1 (Depfast.Trace_stats.timeouts stats "n3")
+
+let suite =
+  [
+    ( "sched.coroutine",
+      [
+        Alcotest.test_case "spawn runs" `Quick test_spawn_runs;
+        Alcotest.test_case "sleep advances time" `Quick test_sleep_advances_time;
+        Alcotest.test_case "wait resumes on fire" `Quick test_wait_fired_later;
+        Alcotest.test_case "wait on ready event" `Quick test_wait_already_ready;
+        Alcotest.test_case "wait timeout expires" `Quick test_wait_timeout_expires;
+        Alcotest.test_case "fire beats timeout" `Quick test_wait_timeout_beaten_by_fire;
+        Alcotest.test_case "quorum wait ignores straggler" `Quick test_quorum_wait_coroutines;
+        Alcotest.test_case "yield interleaves" `Quick test_yield_interleaving;
+        Alcotest.test_case "spawn_here inherits node" `Quick test_spawn_here_inherits_node;
+        Alcotest.test_case "timer event" `Quick test_timer_event;
+        Alcotest.test_case "10k coroutines" `Quick test_many_coroutines_scale;
+      ] );
+    ( "sched.trace",
+      [
+        Alcotest.test_case "quorum arity recorded" `Quick test_trace_records_quorum_arity;
+      ] );
+    ( "trace_stats",
+      [
+        Alcotest.test_case "by label" `Quick test_trace_stats_by_label;
+        Alcotest.test_case "by edge" `Quick test_trace_stats_by_edge;
+        Alcotest.test_case "online subscription" `Quick test_trace_stats_online;
+      ] );
+    ( "spg",
+      [
+        Alcotest.test_case "edges and colors" `Quick test_spg_edges_and_colors;
+        Alcotest.test_case "audit flags single waits" `Quick test_audit_flags_single_waits;
+        Alcotest.test_case "pure quorum tolerant" `Quick test_audit_pure_quorum_tolerant;
+        Alcotest.test_case "dot output" `Quick test_spg_dot_output;
+      ] );
+  ]

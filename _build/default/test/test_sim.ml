@@ -1,0 +1,356 @@
+(* Unit and property tests for the simulation substrate. *)
+
+open Sim
+
+let check_int = Alcotest.(check int)
+let check_bool = Alcotest.(check bool)
+
+(* ------------------------------------------------------------------ *)
+(* Time *)
+
+let test_time_units () =
+  check_int "ms" 1_000 (Time.ms 1);
+  check_int "sec" 1_000_000 (Time.sec 1);
+  check_int "of_ms_f rounds" 1_500 (Time.of_ms_f 1.5);
+  check_int "add" 1_100 (Time.add (Time.ms 1) (Time.us 100));
+  check_int "diff" 900 (Time.diff (Time.ms 1) (Time.us 100));
+  Alcotest.(check (float 1e-9)) "to_ms_f" 1.5 (Time.to_ms_f 1_500)
+
+(* ------------------------------------------------------------------ *)
+(* Rng *)
+
+let test_rng_determinism () =
+  let a = Rng.create 42L and b = Rng.create 42L in
+  for _ = 1 to 100 do
+    Alcotest.(check int64) "same stream" (Rng.bits64 a) (Rng.bits64 b)
+  done
+
+let test_rng_split_independent () =
+  let a = Rng.create 42L in
+  let c = Rng.split a in
+  (* split stream differs from parent continuation *)
+  let differs = ref false in
+  for _ = 1 to 20 do
+    if Rng.bits64 a <> Rng.bits64 c then differs := true
+  done;
+  check_bool "split differs" true !differs
+
+let test_rng_bounds () =
+  let r = Rng.create 7L in
+  for _ = 1 to 1000 do
+    let x = Rng.int r 10 in
+    check_bool "int in range" true (x >= 0 && x < 10);
+    let y = Rng.int_in r 5 9 in
+    check_bool "int_in range" true (y >= 5 && y <= 9);
+    let f = Rng.unit_float r in
+    check_bool "float in range" true (f >= 0.0 && f < 1.0)
+  done
+
+let test_rng_uniformity () =
+  let r = Rng.create 11L in
+  let counts = Array.make 10 0 in
+  let n = 100_000 in
+  for _ = 1 to n do
+    let x = Rng.int r 10 in
+    counts.(x) <- counts.(x) + 1
+  done;
+  Array.iter
+    (fun c ->
+      let frac = float_of_int c /. float_of_int n in
+      check_bool "bucket near 0.1" true (frac > 0.08 && frac < 0.12))
+    counts
+
+let test_rng_shuffle_permutation () =
+  let r = Rng.create 3L in
+  let arr = Array.init 50 Fun.id in
+  Rng.shuffle r arr;
+  let sorted = Array.copy arr in
+  Array.sort compare sorted;
+  Alcotest.(check (array int)) "permutation" (Array.init 50 Fun.id) sorted
+
+(* ------------------------------------------------------------------ *)
+(* Dist *)
+
+let sample_mean d seed n =
+  let r = Rng.create seed in
+  let acc = ref 0.0 in
+  for _ = 1 to n do
+    acc := !acc +. Dist.sample r d
+  done;
+  !acc /. float_of_int n
+
+let test_dist_means () =
+  let close what expected got tol =
+    Alcotest.(check bool) what true (Float.abs (got -. expected) < tol)
+  in
+  close "constant" 5.0 (sample_mean (Dist.Constant 5.0) 1L 100) 1e-9;
+  close "uniform" 10.0 (sample_mean (Dist.Uniform (5.0, 15.0)) 2L 50_000) 0.2;
+  close "exponential" 4.0 (sample_mean (Dist.Exponential 4.0) 3L 100_000) 0.2;
+  close "normal" 8.0 (sample_mean (Dist.Normal (8.0, 1.0)) 4L 50_000) 0.2;
+  close "shifted" 12.0 (sample_mean (Dist.Shifted (8.0, Dist.Exponential 4.0)) 5L 100_000) 0.3;
+  close "scaled" 8.0 (sample_mean (Dist.Scaled (2.0, Dist.Exponential 4.0)) 6L 100_000) 0.3
+
+let test_dist_nonnegative () =
+  let r = Rng.create 13L in
+  for _ = 1 to 10_000 do
+    check_bool "nonneg" true (Dist.sample r (Dist.Normal (0.5, 5.0)) >= 0.0)
+  done
+
+let test_dist_analytic_mean () =
+  Alcotest.(check (float 1e-9)) "uniform mean" 10.0 (Dist.mean (Dist.Uniform (5.0, 15.0)));
+  Alcotest.(check (float 1e-9)) "pareto inf" infinity (Dist.mean (Dist.Pareto (1.0, 0.9)));
+  Alcotest.(check (float 1e-6)) "pareto finite" 3.0 (Dist.mean (Dist.Pareto (2.0, 3.0)))
+
+let test_zipfian_skew () =
+  let r = Rng.create 21L in
+  let sample = Dist.make_zipfian ~n:1000 ~theta:0.99 in
+  let counts = Array.make 1000 0 in
+  let n = 100_000 in
+  for _ = 1 to n do
+    let k = sample r in
+    Alcotest.(check bool) "in range" true (k >= 0 && k < 1000);
+    counts.(k) <- counts.(k) + 1
+  done;
+  (* rank 0 must dominate and ordering must be roughly decreasing *)
+  check_bool "head heavy" true (counts.(0) > counts.(500) * 10);
+  check_bool "rank0 > rank9" true (counts.(0) > counts.(9))
+
+let test_zipfian_uniform_theta0 () =
+  (* theta -> 0 approaches uniform *)
+  let r = Rng.create 22L in
+  let sample = Dist.make_zipfian ~n:100 ~theta:0.01 in
+  let counts = Array.make 100 0 in
+  for _ = 1 to 100_000 do
+    counts.(sample r) <- counts.(sample r) + 1
+  done;
+  let mx = Array.fold_left max 0 counts and mn = Array.fold_left min max_int counts in
+  check_bool "roughly uniform" true (float_of_int mx /. float_of_int mn < 2.0)
+
+(* ------------------------------------------------------------------ *)
+(* Hist *)
+
+let test_hist_basic () =
+  let h = Hist.create () in
+  check_int "empty count" 0 (Hist.count h);
+  check_int "empty quantile" 0 (Hist.p99 h);
+  List.iter (Hist.add h) [ 10; 20; 30; 40; 50 ];
+  check_int "count" 5 (Hist.count h);
+  check_int "min" 10 (Hist.min_value h);
+  check_int "max" 50 (Hist.max_value h);
+  Alcotest.(check (float 1e-9)) "mean" 30.0 (Hist.mean h)
+
+let test_hist_small_exact () =
+  (* values < 64 are recorded exactly *)
+  let h = Hist.create () in
+  for v = 0 to 63 do
+    Hist.add h v
+  done;
+  check_int "p50 exact" 31 (Hist.quantile h 0.5);
+  check_int "p100 exact" 63 (Hist.quantile h 1.0)
+
+let test_hist_quantile_vs_sorted =
+  QCheck.Test.make ~name:"hist quantile close to exact quantile" ~count:200
+    QCheck.(pair (list_of_size Gen.(int_range 1 500) (int_bound 1_000_000)) (float_range 0.0 1.0))
+    (fun (values, q) ->
+      QCheck.assume (values <> []);
+      let q = Float.max 0.01 q in
+      let h = Sim.Hist.create () in
+      List.iter (Sim.Hist.add h) values;
+      let sorted = Array.of_list values in
+      Array.sort compare sorted;
+      let n = Array.length sorted in
+      let idx = min (n - 1) (max 0 (int_of_float (ceil (q *. float_of_int n)) - 1)) in
+      let exact = sorted.(idx) in
+      let approx = Sim.Hist.quantile h q in
+      (* log-bucket relative error bound: <= 1/32 plus rounding *)
+      approx >= exact && float_of_int approx <= (float_of_int exact *. 1.04) +. 1.0)
+
+let test_hist_merge () =
+  let a = Hist.create () and b = Hist.create () in
+  List.iter (Hist.add a) [ 1; 2; 3 ];
+  List.iter (Hist.add b) [ 100; 200 ];
+  let m = Hist.merge a b in
+  check_int "merged count" 5 (Hist.count m);
+  check_int "merged min" 1 (Hist.min_value m);
+  check_int "merged max" 200 (Hist.max_value m);
+  (* originals untouched *)
+  check_int "a count" 3 (Hist.count a)
+
+let test_hist_clear () =
+  let h = Hist.create () in
+  Hist.add h 42;
+  Hist.clear h;
+  check_int "cleared" 0 (Hist.count h);
+  check_int "cleared max" 0 (Hist.max_value h)
+
+(* ------------------------------------------------------------------ *)
+(* Heap *)
+
+let test_heap_ordering () =
+  let h = Heap.create () in
+  let _ = Heap.push h ~time:30 "c" in
+  let _ = Heap.push h ~time:10 "a" in
+  let _ = Heap.push h ~time:20 "b" in
+  Alcotest.(check (option (pair int string))) "pop a" (Some (10, "a")) (Heap.pop h);
+  Alcotest.(check (option (pair int string))) "pop b" (Some (20, "b")) (Heap.pop h);
+  Alcotest.(check (option (pair int string))) "pop c" (Some (30, "c")) (Heap.pop h);
+  Alcotest.(check (option (pair int string))) "empty" None (Heap.pop h)
+
+let test_heap_fifo_ties () =
+  let h = Heap.create () in
+  let _ = Heap.push h ~time:5 "first" in
+  let _ = Heap.push h ~time:5 "second" in
+  let _ = Heap.push h ~time:5 "third" in
+  Alcotest.(check (option (pair int string))) "tie 1" (Some (5, "first")) (Heap.pop h);
+  Alcotest.(check (option (pair int string))) "tie 2" (Some (5, "second")) (Heap.pop h)
+
+let test_heap_cancel () =
+  let h = Heap.create () in
+  let _ = Heap.push h ~time:1 "keep1" in
+  let dead = Heap.push h ~time:2 "dead" in
+  let _ = Heap.push h ~time:3 "keep2" in
+  check_int "size 3" 3 (Heap.size h);
+  Heap.cancel h dead;
+  check_int "size 2 after cancel" 2 (Heap.size h);
+  check_bool "cancelled" true (Heap.cancelled dead);
+  Alcotest.(check (option (pair int string))) "keep1" (Some (1, "keep1")) (Heap.pop h);
+  Alcotest.(check (option (pair int string))) "skips dead" (Some (3, "keep2")) (Heap.pop h)
+
+let test_heap_sorted_property =
+  QCheck.Test.make ~name:"heap pops in nondecreasing time order" ~count:300
+    QCheck.(list (int_bound 10_000))
+    (fun times ->
+      let h = Sim.Heap.create () in
+      List.iter (fun t -> ignore (Sim.Heap.push h ~time:t ())) times;
+      let rec drain last =
+        match Sim.Heap.pop h with
+        | None -> true
+        | Some (t, ()) -> t >= last && drain t
+      in
+      drain min_int)
+
+let test_heap_cancel_property =
+  QCheck.Test.make ~name:"cancelled entries never pop" ~count:200
+    QCheck.(list (pair (int_bound 1000) bool))
+    (fun entries ->
+      let h = Sim.Heap.create () in
+      let handles = List.map (fun (t, cancel) -> (Sim.Heap.push h ~time:t (t, cancel), cancel)) entries in
+      List.iter (fun (hd, cancel) -> if cancel then Sim.Heap.cancel h hd) handles;
+      let rec drain acc =
+        match Sim.Heap.pop h with None -> acc | Some (_, v) -> drain (v :: acc)
+      in
+      let popped = drain [] in
+      List.for_all (fun (_, cancelled) -> not cancelled) popped
+      && List.length popped = List.length (List.filter (fun (_, c) -> not c) entries))
+
+(* ------------------------------------------------------------------ *)
+(* Engine *)
+
+let test_engine_post_order () =
+  let e = Engine.create () in
+  let log = ref [] in
+  Engine.post e (fun () -> log := 1 :: !log);
+  Engine.post e (fun () -> log := 2 :: !log);
+  Engine.run e;
+  Alcotest.(check (list int)) "fifo" [ 1; 2 ] (List.rev !log);
+  check_int "time unchanged" 0 (Engine.now e)
+
+let test_engine_schedule_advances_clock () =
+  let e = Engine.create () in
+  let fired_at = ref (-1) in
+  ignore (Engine.schedule e ~delay:(Time.ms 5) (fun () -> fired_at := Engine.now e));
+  Engine.run e;
+  check_int "fired at 5ms" (Time.ms 5) !fired_at;
+  check_int "clock at 5ms" (Time.ms 5) (Engine.now e)
+
+let test_engine_ordering_mixed () =
+  let e = Engine.create () in
+  let log = ref [] in
+  let push tag () = log := tag :: !log in
+  ignore (Engine.schedule e ~delay:20 (push "t20"));
+  ignore (Engine.schedule e ~delay:10 (fun () ->
+      push "t10" ();
+      Engine.post e (push "posted-at-10")));
+  Engine.post e (push "now");
+  Engine.run e;
+  Alcotest.(check (list string)) "order" [ "now"; "t10"; "posted-at-10"; "t20" ] (List.rev !log)
+
+let test_engine_cancel () =
+  let e = Engine.create () in
+  let fired = ref false in
+  let h = Engine.schedule e ~delay:10 (fun () -> fired := true) in
+  Engine.cancel e h;
+  Engine.run e;
+  check_bool "not fired" false !fired
+
+let test_engine_until () =
+  let e = Engine.create () in
+  let fired = ref [] in
+  ignore (Engine.schedule e ~delay:10 (fun () -> fired := 10 :: !fired));
+  ignore (Engine.schedule e ~delay:30 (fun () -> fired := 30 :: !fired));
+  Engine.run ~until:20 e;
+  Alcotest.(check (list int)) "only t10" [ 10 ] (List.rev !fired);
+  check_int "clock clamped to until" 20 (Engine.now e);
+  Engine.run e;
+  Alcotest.(check (list int)) "rest runs" [ 10; 30 ] (List.rev !fired)
+
+let test_engine_periodic_chain () =
+  let e = Engine.create () in
+  let count = ref 0 in
+  let rec tick () =
+    incr count;
+    if !count < 100 then ignore (Engine.schedule e ~delay:1 tick)
+  in
+  ignore (Engine.schedule e ~delay:1 tick);
+  Engine.run e;
+  check_int "100 ticks" 100 !count;
+  check_int "clock 100us" 100 (Engine.now e)
+
+let suite =
+  [
+    ( "sim.time",
+      [
+        Alcotest.test_case "units and arithmetic" `Quick test_time_units;
+      ] );
+    ( "sim.rng",
+      [
+        Alcotest.test_case "determinism" `Quick test_rng_determinism;
+        Alcotest.test_case "split independence" `Quick test_rng_split_independent;
+        Alcotest.test_case "bounds" `Quick test_rng_bounds;
+        Alcotest.test_case "uniformity" `Quick test_rng_uniformity;
+        Alcotest.test_case "shuffle is a permutation" `Quick test_rng_shuffle_permutation;
+      ] );
+    ( "sim.dist",
+      [
+        Alcotest.test_case "sample means" `Quick test_dist_means;
+        Alcotest.test_case "samples nonnegative" `Quick test_dist_nonnegative;
+        Alcotest.test_case "analytic means" `Quick test_dist_analytic_mean;
+        Alcotest.test_case "zipfian skew" `Quick test_zipfian_skew;
+        Alcotest.test_case "zipfian ~uniform at theta~0" `Quick test_zipfian_uniform_theta0;
+      ] );
+    ( "sim.hist",
+      [
+        Alcotest.test_case "basic stats" `Quick test_hist_basic;
+        Alcotest.test_case "small values exact" `Quick test_hist_small_exact;
+        Alcotest.test_case "merge" `Quick test_hist_merge;
+        Alcotest.test_case "clear" `Quick test_hist_clear;
+        QCheck_alcotest.to_alcotest test_hist_quantile_vs_sorted;
+      ] );
+    ( "sim.heap",
+      [
+        Alcotest.test_case "ordering" `Quick test_heap_ordering;
+        Alcotest.test_case "FIFO tie-break" `Quick test_heap_fifo_ties;
+        Alcotest.test_case "cancel" `Quick test_heap_cancel;
+        QCheck_alcotest.to_alcotest test_heap_sorted_property;
+        QCheck_alcotest.to_alcotest test_heap_cancel_property;
+      ] );
+    ( "sim.engine",
+      [
+        Alcotest.test_case "post order" `Quick test_engine_post_order;
+        Alcotest.test_case "schedule advances clock" `Quick test_engine_schedule_advances_clock;
+        Alcotest.test_case "mixed ordering" `Quick test_engine_ordering_mixed;
+        Alcotest.test_case "cancel" `Quick test_engine_cancel;
+        Alcotest.test_case "run ~until" `Quick test_engine_until;
+        Alcotest.test_case "periodic chain" `Quick test_engine_periodic_chain;
+      ] );
+  ]
