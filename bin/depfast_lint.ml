@@ -1,0 +1,60 @@
+(* depfast-lint: static fail-slow analysis over OCaml sources.
+
+   Walks the given paths (default: lib examples bench), lints every .ml
+   file and prints findings. Exits non-zero iff any finding is not
+   exempted by a [(* depfast-lint: allow rule-id *)] pragma, so the
+   @lint dune alias gates CI on it. *)
+
+let usage = "usage: depfast_lint [--quiet] [--rules] [path ...]"
+
+let rec walk path acc =
+  if Sys.is_directory path then
+    Sys.readdir path |> Array.to_list |> List.sort compare
+    |> List.fold_left
+         (fun acc entry ->
+           if entry = "_build" || entry = ".git" then acc
+           else walk (Filename.concat path entry) acc)
+         acc
+  else if Filename.check_suffix path ".ml" && not (Filename.check_suffix path ".pp.ml") then
+    path :: acc
+  else acc
+
+let () =
+  let quiet = ref false in
+  let paths = ref [] in
+  let show_rules = ref false in
+  Array.iteri
+    (fun i arg ->
+      if i > 0 then
+        match arg with
+        | "--quiet" | "-q" -> quiet := true
+        | "--rules" -> show_rules := true
+        | "--help" | "-h" ->
+          print_endline usage;
+          exit 0
+        | p -> paths := p :: !paths)
+    Sys.argv;
+  if !show_rules then begin
+    List.iter
+      (fun (id, desc) -> Printf.printf "%-18s %s\n" id desc)
+      Analysis.Finding.rules;
+    exit 0
+  end;
+  let roots = match List.rev !paths with [] -> [ "lib"; "examples"; "bench" ] | ps -> ps in
+  let missing = List.filter (fun p -> not (Sys.file_exists p)) roots in
+  if missing <> [] then begin
+    Printf.eprintf "depfast_lint: no such path: %s\n" (String.concat ", " missing);
+    exit 2
+  end;
+  let files = List.rev (List.fold_left (fun acc p -> walk p acc) [] roots) in
+  let findings = List.concat_map Analysis.Source_lint.lint_file files in
+  let findings = List.sort Analysis.Finding.by_location findings in
+  let bad = Analysis.Finding.unallowed findings in
+  List.iter
+    (fun (f : Analysis.Finding.t) ->
+      if not (!quiet && f.Analysis.Finding.allowed) then
+        print_endline (Analysis.Finding.to_string f))
+    findings;
+  Printf.printf "depfast-lint: %d file(s), %d finding(s), %d unallowed\n" (List.length files)
+    (List.length findings) (List.length bad);
+  exit (if bad = [] then 0 else 1)

@@ -1,0 +1,84 @@
+open Depfast
+
+let is_compound e =
+  match Event.kind e with
+  | Event.Quorum | Event.And_ | Event.Or_ -> true
+  | Event.Signal | Event.Timer | Event.Rpc | Event.Disk -> false
+
+let classify e = match Event.stallers e with [] -> `Green | ps -> `Red ps
+
+(* every distinct pending node of the DAG, root first, each once. The
+   subtree under a ready event is history (it already fired): stragglers
+   abandoned there are not reported. *)
+let nodes root =
+  let seen = Hashtbl.create 16 in
+  let out = ref [] in
+  let rec go e =
+    if not (Hashtbl.mem seen (Event.id e)) then begin
+      Hashtbl.add seen (Event.id e) ();
+      out := e :: !out;
+      if not (Event.is_ready e) then List.iter go (Event.children e)
+    end
+  in
+  go root;
+  List.rev !out
+
+let analyze ?(allow = fun ~rule:_ _ -> false) ?firers root =
+  let firable =
+    match firers with
+    | None -> fun _ -> true
+    | Some l ->
+      let ids = List.map Event.id l in
+      fun e -> List.mem (Event.id e) ids
+  in
+  let memo = Hashtbl.create 16 in
+  let rec can_fire e =
+    match Hashtbl.find_opt memo (Event.id e) with
+    | Some v -> v
+    | None ->
+      let v =
+        Event.is_ready e
+        ||
+        if is_compound e then
+          let cs = Event.children e in
+          cs <> []
+          && Event.required e <= List.length (List.filter can_fire cs)
+        else (not (Event.is_abandoned e)) && firable e
+      in
+      Hashtbl.replace memo (Event.id e) v;
+      v
+  in
+  let findings = ref [] in
+  let emit ~rule ~severity e message =
+    let loc = Finding.Node { event_id = Event.id e; event_label = Event.label e } in
+    let allowed = allow ~rule e in
+    findings := Finding.v ~allowed ~rule ~severity ~loc message :: !findings
+  in
+  List.iter
+    (fun e ->
+      if is_compound e && not (Event.is_ready e) then begin
+        let k = Event.required e and nc = List.length (Event.children e) in
+        if k > nc then
+          emit ~rule:Finding.vacuous_quorum ~severity:Finding.Error e
+            (Printf.sprintf
+               "quorum requires %d ready children but has only %d: it can never fire" k nc)
+        else if not (can_fire e) then
+          emit ~rule:Finding.orphan_wait ~severity:Finding.Error e
+            (Printf.sprintf
+               "compound cannot reach its quorum (%d of %d): too many children \
+                are abandoned or unfirable"
+               k nc)
+      end
+      else if (not (is_compound e)) && not (can_fire e) then
+        emit ~rule:Finding.orphan_wait ~severity:Finding.Error e
+          (if Event.is_abandoned e then "event was abandoned and can never fire"
+           else "no registered firer can fire this event"))
+    (nodes root);
+  (match classify root with
+  | `Green -> ()
+  | `Red ps ->
+    emit ~rule:Finding.red_wait ~severity:Finding.Error root
+      (Printf.sprintf "wait is fail-slow intolerant: node%s %s can single-handedly stall it"
+         (if List.length ps > 1 then "s" else "")
+         (String.concat ", " (List.map string_of_int ps))));
+  List.rev !findings

@@ -1,0 +1,27 @@
+(** Front end 2: trace-free structural analysis over a constructed
+    [Event.t] DAG. Unlike [Spg.audit], which needs a recorded execution,
+    this inspects the wait graph a priori — the static counterpart of
+    the paper's "only quorum waits" rule. *)
+
+val classify : Depfast.Event.t -> [ `Green | `Red of int list ]
+(** Red iff some single remote node can stall the event
+    ([Event.stallers] non-empty). *)
+
+val analyze :
+  ?allow:(rule:string -> Depfast.Event.t -> bool) ->
+  ?firers:Depfast.Event.t list ->
+  Depfast.Event.t ->
+  Finding.t list
+(** Check the DAG rooted at the given wait point:
+
+    - {b red-wait} on the root when [classify] says red;
+    - {b vacuous-quorum} on any pending compound whose required count
+      exceeds its child count ([Count k], k > n — it can never fire);
+    - {b orphan-wait} on any node that cannot become ready: an
+      abandoned basic event, a basic event outside [firers] (when the
+      registered-firer list is given), or a compound whose children
+      cannot supply its quorum.
+
+    [allow] mirrors [Spg.audit]'s exemption hook: findings for which it
+    returns true are marked [allowed] rather than dropped. Defaults to
+    allowing nothing. *)

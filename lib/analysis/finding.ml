@@ -1,0 +1,63 @@
+type severity = Error | Warning | Info
+
+type location =
+  | File of { file : string; line : int }
+  | Node of { event_id : int; event_label : string }
+
+type t = {
+  rule : string;
+  severity : severity;
+  loc : location;
+  message : string;
+  allowed : bool;
+}
+
+let red_wait = "red-wait"
+let unbounded_wait = "unbounded-wait"
+let degenerate_quorum = "degenerate-quorum"
+let lock_across_wait = "lock-across-wait"
+let orphan_wait = "orphan-wait"
+let vacuous_quorum = "vacuous-quorum"
+
+let rules =
+  [
+    (red_wait, "wait on a single remote completion outside a quorum/or_ wrapper");
+    (unbounded_wait, "untimed wait on a remote completion with no or_/timer escape");
+    (degenerate_quorum, "and_ over multiple remote completions (k = n: every peer stalls)");
+    (lock_across_wait, "suspension point reached while a Depfast.Mutex is held");
+    (orphan_wait, "wait on an event no registered firer can ever fire");
+    (vacuous_quorum, "quorum requiring more ready children than it can ever have");
+  ]
+
+let v ?(allowed = false) ~rule ~severity ~loc message =
+  { rule; severity; loc; message; allowed }
+
+let severity_name = function Error -> "error" | Warning -> "warning" | Info -> "info"
+
+let loc_string = function
+  | File { file; line } -> Printf.sprintf "%s:%d" file line
+  | Node { event_id; event_label } ->
+    if event_label = "" then Printf.sprintf "event #%d" event_id
+    else Printf.sprintf "event #%d (%s)" event_id event_label
+
+let to_string f =
+  Printf.sprintf "%s: [%s] %s: %s%s" (loc_string f.loc) (severity_name f.severity)
+    f.rule f.message
+    (if f.allowed then "  (allowed)" else "")
+
+let pp fmt f = Format.pp_print_string fmt (to_string f)
+let unallowed fs = List.filter (fun f -> not f.allowed) fs
+
+let by_location a b =
+  match (a.loc, b.loc) with
+  | File fa, File fb ->
+    let c = compare fa.file fb.file in
+    if c <> 0 then c
+    else
+      let c = compare fa.line fb.line in
+      if c <> 0 then c else compare a.rule b.rule
+  | Node na, Node nb ->
+    let c = compare na.event_id nb.event_id in
+    if c <> 0 then c else compare a.rule b.rule
+  | File _, Node _ -> -1
+  | Node _, File _ -> 1

@@ -1,0 +1,58 @@
+(** Machine-readable findings shared by the source lint and the DAG
+    checker. A finding is a rule violation at a location; [allowed]
+    findings were exempted by a pragma (sources) or an [~allow]
+    predicate (DAGs) and do not gate CI. *)
+
+type severity = Error | Warning | Info
+
+type location =
+  | File of { file : string; line : int }
+  | Node of { event_id : int; event_label : string }
+
+type t = {
+  rule : string;
+  severity : severity;
+  loc : location;
+  message : string;
+  allowed : bool;
+}
+
+(** {2 Rule identifiers} *)
+
+val red_wait : string
+(** [Sched.wait] applied to a single remote completion outside a
+    quorum/or_ wrapper — a statically fail-slow-intolerant wait. *)
+
+val unbounded_wait : string
+(** An untimed wait on a remote completion with no [or_]/timer escape. *)
+
+val degenerate_quorum : string
+(** [and_] composed over multiple remote completions: k = n, so every
+    peer stalls it. *)
+
+val lock_across_wait : string
+(** A suspension point reached while a [Depfast.Mutex] is held — the
+    scheduler hazard behind RethinkDB's fail-slow leader (paper, §2). *)
+
+val orphan_wait : string
+(** An event no registered firer can ever fire. *)
+
+val vacuous_quorum : string
+(** A quorum requiring more ready children than it can ever have
+    ([Count k] with k > n). *)
+
+val rules : (string * string) list
+(** All rule ids with one-line descriptions. *)
+
+val v : ?allowed:bool -> rule:string -> severity:severity -> loc:location -> string -> t
+
+val severity_name : severity -> string
+val loc_string : location -> string
+val to_string : t -> string
+val pp : Format.formatter -> t -> unit
+
+val unallowed : t list -> t list
+(** The findings not exempted by a pragma or allow predicate. *)
+
+val by_location : t -> t -> int
+(** Comparator for stable reporting order (file, line, rule). *)

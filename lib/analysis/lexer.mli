@@ -1,0 +1,22 @@
+(** A deliberately small OCaml tokenizer: enough structure for call-site
+    scanning (identifiers, punctuation, line/column positions) without a
+    real parser. Comments, strings and char literals are consumed, and
+    [(* depfast-lint: allow rule-id ... *)] pragmas are collected. *)
+
+type token = {
+  line : int;  (** 1-based line of the token's first character *)
+  col : int;  (** 0-based column — [col = 0] marks top-level items *)
+  text : string;
+}
+
+type pragma = {
+  p_line : int;  (** line the pragma comment starts on *)
+  p_rules : string list;  (** words following "allow" in the comment *)
+}
+
+type result = { tokens : token array; pragmas : pragma list }
+
+val scan : string -> result
+
+val is_ident : string -> bool
+(** True for identifier-shaped tokens (starts with a letter or [_]). *)

@@ -1,0 +1,33 @@
+(** Front end 1: call-site lint over OCaml sources.
+
+    A token-level scanner (no type information) that tracks, per file:
+    which let-bound variables hold bare remote completion events, which
+    top-level functions return one, which compounds are [and_]s, and
+    which regions run under a [Depfast.Mutex]. Rules:
+
+    - {b red-wait}: [Sched.wait]/[wait_timeout] applied directly to an
+      [Event.rpc_completion]/[disk_completion] (or a local function
+      returning one) outside a quorum/or_ wrapper.
+    - {b unbounded-wait}: a plain [Sched.wait] (no timeout) on a bare
+      rpc completion — no [or_]/timer escape at all.
+    - {b degenerate-quorum}: an [Event.and_] that accumulates two or
+      more remote completions via [Event.add] (k = n).
+    - {b lock-across-wait}: any suspension point ([Sched.wait],
+      [Condvar.wait], ...) inside a [Mutex.with_lock] body or between
+      [Mutex.lock]/[unlock].
+
+    Findings at a line L are exempted by a pragma comment
+    [(* depfast-lint: allow rule-id ... *)] starting on lines L-3..L.
+
+    Known blind spots, accepted for a per-file lint: bindings through
+    tuple patterns, events returned across module boundaries (other
+    than the built-in [Cluster.Rpc.event]/[Cluster.Disk.read]
+    producers), and waits on record fields. [Disk.write]/[fsync] are
+    deliberately {e not} treated as remote producers: awaiting one's
+    own WAL durability is protocol-inherent, while a blocking
+    [Disk.read] on the request path is the TiDB anti-pattern (§2). *)
+
+val lint_string : ?path:string -> string -> Finding.t list
+(** Lint source text; [path] names the file in locations. *)
+
+val lint_file : string -> Finding.t list

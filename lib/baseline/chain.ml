@@ -70,6 +70,8 @@ let handle_append t b ~entries ~commit =
         (cfg.Raft.Config.cost_follower_fixed + (n * cfg.Raft.Config.cost_follower_entry));
       Common.follower_append b entries;
       if entries <> [] then
+        (* depfast-lint: allow lock-across-wait — deliberate baseline defect:
+           the chain holds its append lock across WAL durability (Table 1) *)
         Depfast.Sched.wait b.Common.sched
           (Common.wal_append b ~bytes:(Common.wal_bytes b entries));
       Common.set_commit b commit;

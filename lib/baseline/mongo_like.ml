@@ -49,6 +49,8 @@ let handle_pull t b ~from =
       t.cold_pulls <- t.cold_pulls + 1;
       let stop = min last (from + t.catchup_max - 1) in
       let bytes = (stop - from + 1) * entry_size_estimate in
+      (* depfast-lint: allow red-wait — deliberate baseline defect: cold
+         catch-up reads block on the data disk (§2's contention source) *)
       Depfast.Sched.wait b.Common.sched
         (Cluster.Disk.read (Cluster.Node.disk b.Common.node) ~bytes);
       t.catchup_max
@@ -160,6 +162,8 @@ let puller_loop t b =
           (Pull_oplog { from; follower = Cluster.Node.id b.Common.node })
       in
       match
+        (* depfast-lint: allow red-wait — pull replication: a follower tails
+           exactly one sync source by design, so this wait is single-peer *)
         Depfast.Sched.wait_timeout b.Common.sched (Cluster.Rpc.event call)
           cfg.Raft.Config.rpc_timeout
       with

@@ -51,6 +51,8 @@ let handle_append_entries b ~prev_index ~entries ~commit =
       else begin
         Common.follower_append b entries;
         if entries <> [] then
+          (* depfast-lint: allow lock-across-wait — deliberate baseline
+             defect: the RethinkDB coroutine-lock hazard from §2 *)
           Depfast.Sched.wait b.Common.sched
             (Common.wal_append b ~bytes:(Common.wal_bytes b entries));
         Common.set_commit b commit;

@@ -50,6 +50,8 @@ let handle_append_entries b ~prev_index ~entries ~commit =
       else begin
         Common.follower_append b entries;
         if entries <> [] then
+          (* depfast-lint: allow lock-across-wait — deliberate baseline
+             defect: raftstore holds the region lock across WAL fsync *)
           Depfast.Sched.wait b.Common.sched
             (Common.wal_append b ~bytes:(Common.wal_bytes b entries));
         Common.set_commit b commit;
@@ -102,6 +104,8 @@ let prep_and_send t f =
          from disk, blocking the whole region thread (the bug) *)
       t.blocked_disk_reads <- t.blocked_disk_reads + 1;
       let bytes = (stop - from + 1) * entry_size_estimate in
+      (* depfast-lint: allow red-wait — deliberate baseline defect: the
+         TiDB EntryCache miss blocks message prep on a disk read (§2) *)
       Depfast.Sched.wait b.Common.sched
         (Cluster.Disk.read (Cluster.Node.disk b.Common.node) ~bytes)
     end;

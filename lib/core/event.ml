@@ -141,11 +141,19 @@ let peers t =
 
 let stallers t =
   (* a-priori structural analysis: readiness is ignored, the question is
-     whether the wait's shape gave node [p] the power to stall it *)
+     whether the wait's shape gave node [p] the power to stall it. One
+     refinement: a child abandoned while its parent is still pending can
+     never fire, so it weakens the parent's quorum exactly like a child
+     [p] controls. Abandonment observed under an already-fired parent
+     (straggler discard after a quorum fired) is ignored — for completed
+     waits the analysis stays purely structural. *)
   let rec can_stall p e =
     if not (is_compound e) then e.peer_node = Some p
     else
-      let stallable = List.length (List.filter (can_stall p) e.children) in
+      let blocked c =
+        ((not e.ready) && c.abandoned && not c.ready) || can_stall p c
+      in
+      let stallable = List.length (List.filter blocked e.children) in
       e.n_children - stallable < required e
   in
   List.filter (fun p -> can_stall p t) (peers t)

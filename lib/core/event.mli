@@ -83,9 +83,11 @@ val stallers : t -> int list
 (** Remote nodes that can {e single-handedly} prevent the event from firing:
     [p] stalls a basic event iff it is its peer, and stalls a compound iff,
     with every [p]-independent child fired, the required count is still not
-    reached. A wait is fail-slow fault-tolerant iff this list is empty
-    (local waits aside) — the quantitative version of the paper's
-    "only QuorumEvent waits" rule. *)
+    reached. Children [abandon]ed while the compound is still pending are
+    counted as never-firing (they shrink the live quorum); abandonment seen
+    under an already-fired compound is ignored. A wait is fail-slow
+    fault-tolerant iff this list is empty (local waits aside) — the
+    quantitative version of the paper's "only QuorumEvent waits" rule. *)
 
 val is_ready : t -> bool
 

@@ -634,6 +634,9 @@ let handle_append_entries t ~term ~leader ~prev_index ~prev_term ~entries ~commi
         let bytes =
           entries_bytes entries + (List.length entries * cfg.Config.wal_entry_overhead)
         in
+        (* depfast-lint: allow lock-across-wait — the append lock is the
+           documented FIFO-stream substitution (DESIGN §5): appends must
+           serialise, and the wait is on the node's own WAL, not a peer *)
         Depfast.Sched.wait t.sched (wal_append t ~bytes)
       end;
       let new_commit = min commit (Rlog.last_index t.rlog) in

@@ -1,0 +1,7 @@
+(* fixture: the RethinkDB hazard — a coroutine suspends on a remote
+   completion while holding a mutex, so one slow peer blocks every
+   contender *)
+let append sched mu ~peer =
+  Depfast.Mutex.with_lock sched mu (fun () ->
+      let ack = Depfast.Event.rpc_completion ~peer () in
+      Depfast.Sched.wait sched ack)

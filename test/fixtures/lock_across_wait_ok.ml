@@ -1,0 +1,5 @@
+(* fixture: lock discipline done right — mutate under the lock, wait
+   outside it. The wait itself is quorum-shaped, so nothing fires. *)
+let append sched mu q ~entry =
+  Depfast.Mutex.with_lock sched mu (fun () -> enqueue entry);
+  Depfast.Sched.wait sched q

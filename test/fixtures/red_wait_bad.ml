@@ -1,0 +1,6 @@
+(* fixture: naked wait on a single rpc completion — red-wait, and since it
+   is untimed, unbounded-wait too *)
+let replicate sched ~peer =
+  let ack = Depfast.Event.rpc_completion ~peer () in
+  Depfast.Sched.wait sched ack;
+  ack

@@ -1,0 +1,8 @@
+(* fixture: the same replication wait done right — a majority quorum over
+   per-peer completions is fail-slow tolerant, so the lint stays silent *)
+let replicate sched ~peers =
+  let q = Depfast.Event.quorum Depfast.Event.Majority in
+  List.iter
+    (fun peer -> Depfast.Event.add q ~child:(Depfast.Event.rpc_completion ~peer ()))
+    peers;
+  Depfast.Sched.wait sched q

@@ -169,6 +169,65 @@ let test_stallers_nested () =
   Event.add all2 ~child:(Event.rpc_completion ~peer:9 ());
   Alcotest.(check (list int)) "single-replica shard stalls" [ 9 ] (Event.stallers all2)
 
+let test_stallers_abandoned_child () =
+  (* an abandoned child of a pending quorum can never fire, so the live
+     quorum shrinks: 2-of-3 over {0,1,2} with child 2 abandoned is really
+     2-of-2 over {0,1} — each survivor now stalls it *)
+  let q = Event.quorum Event.Majority in
+  let cs =
+    List.map
+      (fun p ->
+        let c = Event.rpc_completion ~peer:p () in
+        Event.add q ~child:c;
+        c)
+      [ 0; 1; 2 ]
+  in
+  Alcotest.(check (list int)) "tolerant before abandon" [] (Event.stallers q);
+  Event.abandon (List.nth cs 2);
+  Alcotest.(check (list int)) "abandoned child shrinks quorum" [ 0; 1 ] (Event.stallers q);
+  (* abandonment under an already-fired parent must not re-redden it *)
+  let q2 = Event.quorum Event.Majority in
+  let cs2 =
+    List.map
+      (fun p ->
+        let c = Event.rpc_completion ~peer:p () in
+        Event.add q2 ~child:c;
+        c)
+      [ 0; 1; 2 ]
+  in
+  Event.fire (List.nth cs2 0);
+  Event.fire (List.nth cs2 1);
+  Alcotest.(check bool) "quorum fired" true (Event.is_ready q2);
+  Event.abandon (List.nth cs2 2);
+  Alcotest.(check (list int)) "straggler discard stays green" [] (Event.stallers q2)
+
+let test_stallers_abandoned_nested () =
+  (* nested: and_ of two majority quorums is tolerant, but abandoning one
+     child of the first shard turns that shard (and hence the and_) red
+     for the shard's two survivors *)
+  let shard ps =
+    let q = Event.quorum Event.Majority in
+    let cs =
+      List.map
+        (fun p ->
+          let c = Event.rpc_completion ~peer:p () in
+          Event.add q ~child:c;
+          c)
+        ps
+    in
+    (q, cs)
+  in
+  let q1, cs1 = shard [ 0; 1; 2 ] in
+  let q2, _ = shard [ 3; 4; 5 ] in
+  let all = Event.and_ () in
+  Event.add all ~child:q1;
+  Event.add all ~child:q2;
+  Alcotest.(check (list int)) "tolerant before abandon" [] (Event.stallers all);
+  Event.abandon (List.nth cs1 2);
+  Alcotest.(check (list int)) "inner abandon reddens the and_" [ 0; 1 ] (Event.stallers all);
+  Alcotest.(check (list int)) "abandoned shard red on its own" [ 0; 1 ] (Event.stallers q1);
+  Alcotest.(check (list int)) "other shard unaffected" [] (Event.stallers q2)
+
 (* property: a random quorum event fires exactly when >= k children fired,
    regardless of fire order *)
 let test_quorum_fire_order_property =
@@ -264,6 +323,8 @@ let suite =
         Alcotest.test_case "basic events" `Quick test_stallers_basic;
         Alcotest.test_case "quorum vs and" `Quick test_stallers_quorum;
         Alcotest.test_case "nested" `Quick test_stallers_nested;
+        Alcotest.test_case "abandoned child" `Quick test_stallers_abandoned_child;
+        Alcotest.test_case "abandoned child (nested)" `Quick test_stallers_abandoned_nested;
         QCheck_alcotest.to_alcotest test_stallers_brute_force;
       ] );
   ]

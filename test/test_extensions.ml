@@ -196,6 +196,55 @@ let test_detector_mitigates_fail_slow_leader () =
   check_bool "old leader is follower now" false
     (Raft.Server.is_leader (Raft.Group.server g 0))
 
+(* ------------------------------------------------------------------ *)
+(* Spg.audit ~allow: the Figure-2 exemption — a client waits on the one
+   leader it is talking to, which the audit flags unless the waiter is
+   explicitly allowed *)
+
+let test_audit_allow_exempts_client () =
+  let engine = Sim.Engine.create ~seed:11L () in
+  let trace = Depfast.Trace.create () in
+  let sched = Depfast.Sched.create ~trace engine in
+  let client_node = 9 and leader = 0 in
+  Depfast.Trace.enable trace;
+  Depfast.Sched.spawn sched ~node:client_node ~name:"client" (fun () ->
+      let reply = Depfast.Event.rpc_completion ~label:"client->leader" ~peer:leader () in
+      ignore
+        (Sim.Engine.schedule engine ~delay:(Sim.Time.ms 2) (fun () ->
+             Depfast.Event.fire reply));
+      (* depfast-lint: allow red-wait unbounded-wait — the wait under test *)
+      Depfast.Sched.wait sched reply);
+  Depfast.Sched.run ~until:(Sim.Time.ms 10) sched;
+  (match Depfast.Spg.audit trace with
+  | [ v ] ->
+    check_int "stalling peer is the leader" leader v.Depfast.Spg.v_peer;
+    check_int "waiter is the client" client_node v.Depfast.Spg.v_wait.Depfast.Trace.node
+  | vs -> Alcotest.failf "expected one violation without ~allow, got %d" (List.length vs));
+  check_bool "not tolerant without the exemption" false
+    (Depfast.Spg.is_fail_slow_tolerant trace);
+  let allow ~node = node = client_node in
+  check_int "client exempted" 0 (List.length (Depfast.Spg.audit ~allow trace));
+  check_bool "tolerant under the Figure-2 exemption" true
+    (Depfast.Spg.is_fail_slow_tolerant ~allow trace)
+
+let test_audit_allow_is_per_waiter () =
+  (* the exemption is keyed on the waiter: allowing some other node must
+     not silence the client's red wait *)
+  let engine = Sim.Engine.create ~seed:12L () in
+  let trace = Depfast.Trace.create () in
+  let sched = Depfast.Sched.create ~trace engine in
+  Depfast.Trace.enable trace;
+  Depfast.Sched.spawn sched ~node:9 ~name:"client" (fun () ->
+      let reply = Depfast.Event.rpc_completion ~peer:0 () in
+      ignore
+        (Sim.Engine.schedule engine ~delay:(Sim.Time.ms 2) (fun () ->
+             Depfast.Event.fire reply));
+      (* depfast-lint: allow red-wait unbounded-wait — the wait under test *)
+      Depfast.Sched.wait sched reply);
+  Depfast.Sched.run ~until:(Sim.Time.ms 10) sched;
+  check_int "allowing a different node changes nothing" 1
+    (List.length (Depfast.Spg.audit ~allow:(fun ~node -> node = 3) trace))
+
 let suite =
   [
     ( "kv.transactions",
@@ -218,5 +267,10 @@ let suite =
         Alcotest.test_case "healthy leader untouched" `Quick test_detector_ignores_healthy_leader;
         Alcotest.test_case "fail-slow leader mitigated" `Slow
           test_detector_mitigates_fail_slow_leader;
+      ] );
+    ( "spg.allow",
+      [
+        Alcotest.test_case "client exemption (Figure 2)" `Quick test_audit_allow_exempts_client;
+        Alcotest.test_case "exemption is per waiter" `Quick test_audit_allow_is_per_waiter;
       ] );
   ]
