@@ -7,18 +7,48 @@
       bench/main.exe --quick          run everything with small parameters
       bench/main.exe fig1 [--quick]   one experiment (table1 | fig1 | fig2 |
                                       fig3 | ablation | mitigation | micro)
-*)
+      bench/main.exe micro fig1 --quick --json
+                                      machine-readable smoke run: writes
+                                      BENCH_core.json with the micro results
+                                      and a trace-on vs trace-off DepFastRaft
+                                      throughput comparison instead of the
+                                      full fig1 sweep *)
 
 let params quick = if quick then Harness.Params.quick else Harness.Params.full
 
-let run_experiment quick = function
+(* --json collectors *)
+let micro_results : Micro.result list ref = ref []
+let trace_cmp : (float * float) option ref = ref None
+
+(* trace overhead probe: the same DepFastRaft quick cell with the wait-trace
+   ring disabled and enabled; tracing must cost well under 10% throughput *)
+let run_fig1_json quick =
+  let params = params quick in
+  let tput trace =
+    let cell =
+      Harness.Runner.run_cell ~trace ~params ~system:Harness.Runner.Depfast_raft ~n:3
+        ~slow_count:1 ~fault:None ()
+    in
+    Workload.Metrics.throughput cell.Harness.Runner.metrics
+  in
+  let off = tput false in
+  let on = tput true in
+  trace_cmp := Some (off, on);
+  Printf.printf "fig1 trace probe: trace-off %.0f ops/s, trace-on %.0f ops/s (%.1f%%)\n%!"
+    off on
+    (100.0 *. on /. off)
+
+let run_experiment ~json quick = function
   | "table1" -> Harness.Table1.print ()
-  | "fig1" -> Harness.Fig1.print ~params:(params quick) ()
+  | "fig1" -> if json then run_fig1_json quick else Harness.Fig1.print ~params:(params quick) ()
   | "fig2" -> Harness.Fig2.print ()
   | "fig3" -> Harness.Fig3.print ~params:(params quick) ()
   | "ablation" -> Harness.Ablation.print ~params:(params quick) ()
   | "mitigation" -> Harness.Mitigation.print ~params:(params quick) ()
-  | "micro" -> Micro.run ()
+  | "micro" ->
+    let rs = Micro.results () in
+    if json then micro_results := rs;
+    Micro.print rs
   | other ->
     Printf.eprintf
       "unknown experiment %S (expected table1|fig1|fig2|fig3|ablation|mitigation|micro)\n"
@@ -27,10 +57,46 @@ let run_experiment quick = function
 
 let all = [ "table1"; "fig1"; "fig2"; "fig3"; "ablation"; "mitigation"; "micro" ]
 
+(* hand-rolled JSON: two flat sections, no escaping needed beyond labels
+   (which are ASCII without quotes/backslashes) *)
+let write_json path =
+  let buf = Buffer.create 1024 in
+  Buffer.add_string buf "{\n  \"micro\": [\n";
+  List.iteri
+    (fun i r ->
+      Buffer.add_string buf
+        (Printf.sprintf
+           "    {\"name\": %S, \"label\": %S, \"ns_per_run\": %.2f, \
+            \"minor_words_per_run\": %.2f}%s\n"
+           r.Micro.key r.Micro.label r.Micro.ns_per_run r.Micro.minor_words_per_run
+           (if i = List.length !micro_results - 1 then "" else ",")))
+    !micro_results;
+  Buffer.add_string buf "  ]";
+  (match !trace_cmp with
+  | Some (off, on) ->
+    Buffer.add_string buf
+      (Printf.sprintf
+         ",\n  \"fig1_trace\": {\"trace_off_tput\": %.2f, \"trace_on_tput\": %.2f, \
+          \"ratio\": %.4f}"
+         off on (on /. off))
+  | None -> ());
+  Buffer.add_string buf "\n}\n";
+  let oc = open_out path in
+  output_string oc (Buffer.contents buf);
+  close_out oc;
+  Printf.printf "wrote %s\n%!" path
+
 let () =
   let quick = ref false in
+  let json = ref false in
   let names = ref [] in
-  let spec = [ ("--quick", Arg.Set quick, " use small parameters (CI-friendly)") ] in
-  Arg.parse spec (fun a -> names := a :: !names) "bench/main.exe [--quick] [experiment...]";
+  let spec =
+    [
+      ("--quick", Arg.Set quick, " use small parameters (CI-friendly)");
+      ("--json", Arg.Set json, " write BENCH_core.json (micro + fig1 trace probe)");
+    ]
+  in
+  Arg.parse spec (fun a -> names := a :: !names) "bench/main.exe [--quick] [--json] [experiment...]";
   let names = if !names = [] then all else List.rev !names in
-  List.iter (run_experiment !quick) names
+  List.iter (run_experiment ~json:!json !quick) names;
+  if !json then write_json "BENCH_core.json"

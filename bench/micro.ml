@@ -59,7 +59,7 @@ let bench_coroutine_wait =
          Depfast.Sched.run sched))
 
 let bench_engine_timers =
-  Test.make ~name:"engine: 1000 timers through the heap"
+  Test.make ~name:"engine: 1000 timers through the wheel"
     (Staged.stage (fun () ->
          let engine = Sim.Engine.create () in
          for i = 1 to 1000 do
@@ -84,37 +84,64 @@ let bench_rlog =
            Raft.Rlog.append log
              { term = 1; index = i; cmd = Raft.Types.Nop; client_id = -1; seq = 0 }
          done;
-         ignore (Raft.Rlog.slice log ~from:500 ~max:64)))
+         ignore (Raft.Rlog.slice_array log ~from:500 ~max:64)))
 
 let all_tests =
   [
-    bench_event_fire;
-    bench_quorum_propagation;
-    bench_nested_stallers;
-    bench_coroutine_spawn;
-    bench_coroutine_wait;
-    bench_engine_timers;
-    bench_hist;
-    bench_rlog;
+    ("event_fire", bench_event_fire);
+    ("quorum_5_children", bench_quorum_propagation);
+    ("stallers_2pc_tree", bench_nested_stallers);
+    ("spawn_100_coroutines", bench_coroutine_spawn);
+    ("quorum_waits_100", bench_coroutine_wait);
+    ("engine_1000_timers", bench_engine_timers);
+    ("hist_1000_samples", bench_hist);
+    ("rlog_append_slice", bench_rlog);
   ]
 
-let run () =
-  Printf.printf "\n=== Microbenchmarks (bechamel) ===\n\n%!";
-  let instances = Instance.[ monotonic_clock ] in
+type result = {
+  key : string;  (** stable identifier for BENCH_core.json *)
+  label : string;  (** human-readable test name *)
+  ns_per_run : float;
+  minor_words_per_run : float;
+}
+
+(* one benchmark, measured for wall time and minor-heap allocation *)
+let measure (key, test) =
+  let instances = Instance.[ monotonic_clock; minor_allocated ] in
   let cfg = Benchmark.cfg ~limit:1000 ~quota:(Time.second 0.25) ~kde:(Some 1000) () in
+  let raw = Benchmark.all cfg instances (Test.make_grouped ~name:"g" [ test ]) in
+  let estimate witness =
+    let analyzed =
+      Analyze.all
+        (Analyze.ols ~bootstrap:0 ~r_square:true ~predictors:[| Measure.run |])
+        witness raw
+    in
+    Hashtbl.fold
+      (fun _ ols acc ->
+        match Analyze.OLS.estimates ols with Some [ est ] -> (est, true) | _ -> acc)
+      analyzed (nan, false)
+  in
+  let label =
+    let n = Hashtbl.fold (fun name _ _ -> name) raw key in
+    if String.length n > 2 && String.sub n 0 2 = "g/" then
+      String.sub n 2 (String.length n - 2)
+    else n
+  in
+  {
+    key;
+    label;
+    ns_per_run = fst (estimate Instance.monotonic_clock);
+    minor_words_per_run = fst (estimate Instance.minor_allocated);
+  }
+
+let results () = List.map measure all_tests
+
+let print rs =
+  Printf.printf "\n=== Microbenchmarks (bechamel) ===\n\n%!";
   List.iter
-    (fun test ->
-      let results =
-        Benchmark.all cfg instances (Test.make_grouped ~name:"g" [ test ])
-      in
-      let analyzed =
-        Analyze.all (Analyze.ols ~bootstrap:0 ~r_square:true ~predictors:[| Measure.run |])
-          Instance.monotonic_clock results
-      in
-      Hashtbl.iter
-        (fun name ols ->
-          match Analyze.OLS.estimates ols with
-          | Some [ est ] -> Printf.printf "%-45s %12.1f ns/run\n%!" name est
-          | _ -> Printf.printf "%-45s (no estimate)\n%!" name)
-        analyzed)
-    all_tests
+    (fun r ->
+      Printf.printf "%-45s %12.1f ns/run %12.1f minor words/run\n%!" r.label
+        r.ns_per_run r.minor_words_per_run)
+    rs
+
+let run () = print (results ())

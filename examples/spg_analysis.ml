@@ -66,5 +66,6 @@ let () =
     (fun v ->
       Printf.printf "  %s waits 1/1 on %s (event %S)\n"
         (names v.Depfast.Spg.v_wait.Depfast.Trace.node)
-        (names v.Depfast.Spg.v_peer) v.Depfast.Spg.v_wait.Depfast.Trace.event_label)
+        (names v.Depfast.Spg.v_peer)
+        (Depfast.Trace.event_label v.Depfast.Spg.v_wait))
     bad

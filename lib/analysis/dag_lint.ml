@@ -17,7 +17,7 @@ let nodes root =
     if not (Hashtbl.mem seen (Event.id e)) then begin
       Hashtbl.add seen (Event.id e) ();
       out := e :: !out;
-      if not (Event.is_ready e) then List.iter go (Event.children e)
+      if not (Event.is_ready e) then Event.iter_children e go
     end
   in
   go root;
@@ -39,10 +39,11 @@ let analyze ?(allow = fun ~rule:_ _ -> false) ?firers root =
       let v =
         Event.is_ready e
         ||
-        if is_compound e then
-          let cs = Event.children e in
-          cs <> []
-          && Event.required e <= List.length (List.filter can_fire cs)
+        if is_compound e then begin
+          let firable = ref 0 in
+          Event.iter_children e (fun c -> if can_fire c then incr firable);
+          Event.child_count e > 0 && Event.required e <= !firable
+        end
         else (not (Event.is_abandoned e)) && firable e
       in
       Hashtbl.replace memo (Event.id e) v;
@@ -57,7 +58,7 @@ let analyze ?(allow = fun ~rule:_ _ -> false) ?firers root =
   List.iter
     (fun e ->
       if is_compound e && not (Event.is_ready e) then begin
-        let k = Event.required e and nc = List.length (Event.children e) in
+        let k = Event.required e and nc = Event.child_count e in
         if k > nc then
           emit ~rule:Finding.vacuous_quorum ~severity:Finding.Error e
             (Printf.sprintf

@@ -41,14 +41,14 @@ let forward t b entries =
   | None -> ()
   | Some next ->
     let cfg = b.Common.cfg in
-    let n = List.length entries in
+    let n = Array.length entries in
     if n > 0 then begin
       Cluster.Node.cpu_work b.Common.node
         (cfg.Raft.Config.cost_per_follower + (n * cfg.Raft.Config.cost_send_entry));
-      let prev_index = (List.hd entries).index - 1 in
+      let prev_index = entries.(0).index - 1 in
       ignore
         (Cluster.Rpc.call b.Common.rpc ~src:b.Common.node ~dst:next
-           ~bytes:(256 + entries_bytes entries)
+           ~bytes:(256 + entries_bytes_a entries)
            (Append_entries
               {
                 term = 1;
@@ -65,15 +65,15 @@ let forward t b entries =
 let handle_append t b ~entries ~commit =
   Depfast.Mutex.with_lock b.Common.sched b.Common.append_mu (fun () ->
       let cfg = b.Common.cfg in
-      let n = List.length entries in
+      let n = Array.length entries in
       Cluster.Node.cpu_work b.Common.node
         (cfg.Raft.Config.cost_follower_fixed + (n * cfg.Raft.Config.cost_follower_entry));
-      Common.follower_append b entries;
-      if entries <> [] then
+      Common.follower_append_a b entries;
+      if n > 0 then
         (* depfast-lint: allow lock-across-wait — deliberate baseline defect:
            the chain holds its append lock across WAL durability (Table 1) *)
         Depfast.Sched.wait b.Common.sched
-          (Common.wal_append b ~bytes:(Common.wal_bytes b entries));
+          (Common.wal_append b ~bytes:(Common.wal_bytes_a b entries));
       Common.set_commit b commit;
       forward t b entries;
       if Cluster.Node.id b.Common.node = tail_id t && n > 0 then
@@ -109,13 +109,13 @@ let head_loop t =
           (Depfast.Condvar.wait_timeout b.Common.sched b.Common.work_cv
              cfg.Raft.Config.group_commit_window);
       let batch = Common.take_batch b cfg.Raft.Config.batch_max in
-      let entries = Common.append_batch b batch in
-      let n = List.length entries in
+      let entries = Array.of_list (Common.append_batch b batch) in
+      let n = Array.length entries in
       if n > 0 then begin
         Cluster.Node.cpu_work b.Common.node
           (cfg.Raft.Config.cost_round_fixed + (n * cfg.Raft.Config.cost_marshal_entry));
         Depfast.Sched.wait b.Common.sched
-          (Common.wal_append b ~bytes:(Common.wal_bytes b entries));
+          (Common.wal_append b ~bytes:(Common.wal_bytes_a b entries));
         forward t b entries
       end;
       loop ()

@@ -79,6 +79,9 @@ let wal_append b ~bytes =
 let wal_bytes b entries =
   entries_bytes entries + (List.length entries * b.cfg.Raft.Config.wal_entry_overhead)
 
+let wal_bytes_a b entries =
+  entries_bytes_a entries + (Array.length entries * b.cfg.Raft.Config.wal_entry_overhead)
+
 let enqueue b ~cmd ~client ~seq =
   let p =
     { p_ok = false; p_value = None; p_done = Depfast.Event.signal ~label:"committed" () }
@@ -116,6 +119,12 @@ let append_batch b batch =
     run a single fixed leader). *)
 let follower_append b entries =
   List.iter
+    (fun e ->
+      if e.index = Raft.Rlog.last_index b.rlog + 1 then Raft.Rlog.append b.rlog e)
+    entries
+
+let follower_append_a b entries =
+  Array.iter
     (fun e ->
       if e.index = Raft.Rlog.last_index b.rlog + 1 then Raft.Rlog.append b.rlog e)
     entries

@@ -44,17 +44,17 @@ let handle_append_entries b ~prev_index ~entries ~commit =
       let cfg = b.Common.cfg in
       Cluster.Node.cpu_work b.Common.node
         (cfg.Raft.Config.cost_follower_fixed
-        + (List.length entries * cfg.Raft.Config.cost_follower_entry));
+        + (Array.length entries * cfg.Raft.Config.cost_follower_entry));
       if prev_index > Raft.Rlog.last_index b.Common.rlog then
         Append_resp
           { term = 1; success = false; match_index = Raft.Rlog.last_index b.Common.rlog }
       else begin
-        Common.follower_append b entries;
-        if entries <> [] then
+        Common.follower_append_a b entries;
+        if Array.length entries > 0 then
           (* depfast-lint: allow lock-across-wait — deliberate baseline
              defect: the RethinkDB coroutine-lock hazard from §2 *)
           Depfast.Sched.wait b.Common.sched
-            (Common.wal_append b ~bytes:(Common.wal_bytes b entries));
+            (Common.wal_append b ~bytes:(Common.wal_bytes_a b entries));
         Common.set_commit b commit;
         Append_resp
           { term = 1; success = true; match_index = Raft.Rlog.last_index b.Common.rlog }
@@ -121,12 +121,12 @@ let drainer_loop t f =
           batch := Queue.pop buf.entries :: !batch;
           incr n
         done;
-        let entries = List.rev !batch in
+        let entries = Array.of_list (List.rev !batch) in
         Cluster.Node.cpu_work b.Common.node
           (cfg.Raft.Config.cost_per_follower
-          + (List.length entries * cfg.Raft.Config.cost_send_entry));
-        let prev_index = (List.hd entries).index - 1 in
-        let bytes = entries_bytes entries in
+          + (Array.length entries * cfg.Raft.Config.cost_send_entry));
+        let prev_index = entries.(0).index - 1 in
+        let bytes = entries_bytes_a entries in
         outstanding := !outstanding + bytes;
         let call =
           Cluster.Rpc.call b.Common.rpc ~src:b.Common.node ~dst:f

@@ -43,17 +43,17 @@ let handle_append_entries b ~prev_index ~entries ~commit =
       let cfg = b.Common.cfg in
       Cluster.Node.cpu_work b.Common.node
         (cfg.Raft.Config.cost_follower_fixed
-        + (List.length entries * cfg.Raft.Config.cost_follower_entry));
+        + (Array.length entries * cfg.Raft.Config.cost_follower_entry));
       if prev_index > Raft.Rlog.last_index b.Common.rlog then
         Append_resp
           { term = 1; success = false; match_index = Raft.Rlog.last_index b.Common.rlog }
       else begin
-        Common.follower_append b entries;
-        if entries <> [] then
+        Common.follower_append_a b entries;
+        if Array.length entries > 0 then
           (* depfast-lint: allow lock-across-wait — deliberate baseline
              defect: raftstore holds the region lock across WAL fsync *)
           Depfast.Sched.wait b.Common.sched
-            (Common.wal_append b ~bytes:(Common.wal_bytes b entries));
+            (Common.wal_append b ~bytes:(Common.wal_bytes_a b entries));
         Common.set_commit b commit;
         Append_resp
           { term = 1; success = true; match_index = Raft.Rlog.last_index b.Common.rlog }
@@ -110,14 +110,14 @@ let prep_and_send t f =
         (Cluster.Disk.read (Cluster.Node.disk b.Common.node) ~bytes)
     end;
     if not (Hashtbl.find t.inflight f) then begin
-      let entries = Raft.Rlog.slice b.Common.rlog ~from ~max:(stop - from + 1) in
+      let entries = Raft.Rlog.slice_array b.Common.rlog ~from ~max:(stop - from + 1) in
       Cluster.Node.cpu_work b.Common.node
         (cfg.Raft.Config.cost_per_follower
-        + (List.length entries * cfg.Raft.Config.cost_send_entry));
+        + (Array.length entries * cfg.Raft.Config.cost_send_entry));
       Hashtbl.replace t.inflight f true;
       let call =
         Cluster.Rpc.call b.Common.rpc ~src:b.Common.node ~dst:f
-          ~bytes:(256 + entries_bytes entries)
+          ~bytes:(256 + entries_bytes_a entries)
           (Append_entries
              {
                term = 1;

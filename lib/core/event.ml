@@ -2,25 +2,60 @@ type kind = Signal | Timer | Rpc | Disk | Quorum | And_ | Or_
 
 type arity = Count of int | Majority | All | Any
 
+(* Children live in a growable array so the steady-state hot paths (fire
+   propagation, quorum counting, staller analysis) neither allocate nor
+   re-traverse lists. Observers are reverse-order lists run by recursing to
+   the tail first, so registration is one cons and firing allocates
+   nothing. The whole mutable lifecycle — the ready and abandoned bits, the
+   ready-child count, and the attached-child count (the children array's
+   live prefix length) — packs into the single [state] word, and
+   [peer_node] is [-1] when absent, keeping the record at 12 words with no
+   option boxes. *)
 type t = {
   id : int;
   kind : kind;
   label : string;
   arity : arity;
-  peer_node : int option;
-  mutable ready : bool;
-  mutable abandoned : bool;
-  mutable children : t list;  (* reverse attachment order *)
-  mutable n_children : int;
-  mutable n_ready : int;
+  peer_node : int;  (* -1 = none *)
+  mutable state : int;
+      (* bit 0 = ready, bit 1 = abandoned,
+         bits 2..31 = ready children, bits 32.. = attached children *)
+  mutable children : t array;  (* attachment order; live prefix only *)
   mutable parents : t list;
-  mutable fire_obs : (unit -> unit) list;
+  mutable fire_obs : (unit -> unit) list;  (* reverse registration order *)
   mutable abandon_obs : (unit -> unit) list;
+  mutable peers_cache : int list option;
+      (* transitive remote peers, dedup in DFS pre-order. Invariant: if a
+         node's cache is [None], every ancestor's cache is [None] too
+         (computing a compound's peers caches the whole subtree), so
+         invalidation can stop at the first uncached ancestor. *)
 }
+
+let ready_bit = 1
+let abandoned_bit = 2
+let one_ready = 1 lsl 2
+let one_child = 1 lsl 32
+let n_children_of t = t.state lsr 32
+let n_ready_of t = (t.state lsr 2) land 0x3FFFFFFF
+
+let dummy =
+  {
+    id = 0;
+    kind = Signal;
+    label = "";
+    arity = Any;
+    peer_node = -1;
+    state = ready_bit;
+    children = [||];
+    parents = [];
+    fire_obs = [];
+    abandon_obs = [];
+    peers_cache = None;
+  }
 
 let next_id = ref 0
 
-let make ?(label = "") ?peer kind arity =
+let make_p label peer kind arity =
   incr next_id;
   {
     id = !next_id;
@@ -28,31 +63,37 @@ let make ?(label = "") ?peer kind arity =
     label;
     arity;
     peer_node = peer;
-    ready = false;
-    abandoned = false;
-    children = [];
-    n_children = 0;
-    n_ready = 0;
+    state = 0;
+    children = [||];
     parents = [];
     fire_obs = [];
     abandon_obs = [];
+    peers_cache = None;
   }
 
+let make ?(label = "") kind arity = make_p label (-1) kind arity
 let id t = t.id
 let kind t = t.kind
 let label t = t.label
 let signal ?label () = make ?label Signal Any
-let rpc_completion ?label ~peer () = make ?label ~peer Rpc Any
-let disk_completion ?label ~node () = make ?label ~peer:node Disk Any
+let rpc_completion ?(label = "") ~peer () = make_p label peer Rpc Any
+let disk_completion ?(label = "") ~node () = make_p label node Disk Any
 let timer_kind ?label () = make ?label Timer Any
 let quorum ?label arity = make ?label Quorum arity
 let and_ ?label () = make ?label And_ All
 let or_ ?label () = make ?label Or_ Any
-let is_ready t = t.ready
-let is_abandoned t = t.abandoned
-let children t = List.rev t.children
-let ready_children t = t.n_ready
-let peer t = t.peer_node
+let is_ready t = t.state land ready_bit <> 0
+let is_abandoned t = t.state land abandoned_bit <> 0
+let child_count t = n_children_of t
+let children t = List.init (n_children_of t) (fun i -> t.children.(i))
+
+let iter_children t f =
+  for i = 0 to n_children_of t - 1 do
+    f t.children.(i)
+  done
+
+let ready_children t = n_ready_of t
+let peer t = if t.peer_node < 0 then None else Some t.peer_node
 
 let is_compound t =
   match t.kind with Quorum | And_ | Or_ -> true | Signal | Timer | Rpc | Disk -> false
@@ -62,82 +103,136 @@ let required t =
   else
     match t.arity with
     | Count k -> k
-    | Majority -> (t.n_children / 2) + 1
-    | All -> t.n_children
+    | Majority -> (n_children_of t / 2) + 1
+    | All -> n_children_of t
     | Any -> 1
 
-let run_observers obs =
-  List.iter (fun f -> f ()) (List.rev obs)
+(* observers are stored in reverse registration order; recursing to the
+   tail first runs them in registration order without a List.rev *)
+let rec run_obs = function
+  | [] -> ()
+  | f :: tl ->
+    run_obs tl;
+    f ()
 
 (* mark [t] ready and propagate to parents; compounds with zero required
    children fire as soon as checked *)
 let rec become_ready t =
-  if not t.ready then begin
-    t.ready <- true;
+  if t.state land ready_bit = 0 then begin
+    t.state <- t.state lor ready_bit;
     let obs = t.fire_obs in
     t.fire_obs <- [];
-    run_observers obs;
+    run_obs obs;
     List.iter child_became_ready t.parents
   end
 
 and child_became_ready parent =
-  if not parent.ready then begin
-    parent.n_ready <- parent.n_ready + 1;
+  if parent.state land ready_bit = 0 then begin
+    parent.state <- parent.state + one_ready;
     check_compound parent
   end
 
 and check_compound t =
-  if (not t.ready) && is_compound t && t.n_children > 0 && t.n_ready >= required t then
-    become_ready t
+  if
+    t.state land ready_bit = 0
+    && is_compound t
+    && n_children_of t > 0
+    && n_ready_of t >= required t
+  then become_ready t
 
 let fire t =
   if is_compound t then invalid_arg "Event.fire: compound events fire via children";
-  if not t.abandoned then become_ready t
+  if t.state land abandoned_bit = 0 then become_ready t
+
+(* initial capacity 6 covers the common shapes (or_ pairs, 3- and 5-child
+   quorums plus a local WAL sibling) with a single allocation; the literal
+   allocates inline where [Array.make] would be an out-of-line C call *)
+let push_child parent child =
+  let n = n_children_of parent in
+  let cap = Array.length parent.children in
+  if n = cap then begin
+    let bigger =
+      if cap = 0 then [| dummy; dummy; dummy; dummy; dummy; dummy |]
+      else Array.make (2 * cap) dummy
+    in
+    Array.blit parent.children 0 bigger 0 n;
+    parent.children <- bigger
+  end;
+  parent.children.(n) <- child;
+  parent.state <- parent.state + one_child
+
+(* see the [peers_cache] invariant: stopping at an uncached node is safe *)
+let rec invalidate_peers t =
+  match t.peers_cache with
+  | None -> ()
+  | Some _ ->
+    t.peers_cache <- None;
+    List.iter invalidate_peers t.parents
 
 let add parent ~child =
   if not (is_compound parent) then invalid_arg "Event.add: not a compound event";
-  if parent.ready then invalid_arg "Event.add: parent already fired";
-  parent.children <- child :: parent.children;
-  parent.n_children <- parent.n_children + 1;
+  if parent.state land ready_bit <> 0 then invalid_arg "Event.add: parent already fired";
+  push_child parent child;
   child.parents <- parent :: child.parents;
-  if child.ready then begin
-    parent.n_ready <- parent.n_ready + 1;
-    check_compound parent
-  end
-  else check_compound parent
+  invalidate_peers parent;
+  if child.state land ready_bit <> 0 then parent.state <- parent.state + one_ready;
+  check_compound parent
 
-let on_fire t f = if t.ready then f () else t.fire_obs <- f :: t.fire_obs
+let on_fire t f =
+  if t.state land ready_bit <> 0 then f () else t.fire_obs <- f :: t.fire_obs
 
-let rec abandon t =
-  if (not t.abandoned) && not t.ready then begin
-    t.abandoned <- true;
-    let obs = t.abandon_obs in
-    t.abandon_obs <- [];
-    run_observers obs;
-    (* abandoning a compound abandons children that no live parent still
-       awaits *)
-    List.iter
-      (fun child ->
-        if not (List.exists (fun p -> (not p.abandoned) && not p.ready) child.parents) then
-          abandon child)
-      t.children
-  end
+let live_mask = ready_bit lor abandoned_bit
 
-let on_abandon t f = if t.abandoned then f () else t.abandon_obs <- f :: t.abandon_obs
-
-let peers t =
-  let seen = Hashtbl.create 8 in
-  let out = ref [] in
-  let rec go e =
-    (match e.peer_node with
-    | Some p when not (Hashtbl.mem seen p) ->
-      Hashtbl.add seen p ();
-      out := p :: !out
-    | Some _ | None -> ());
-    List.iter go (List.rev e.children)
+let abandon t =
+  let rec go t =
+    if t.state land live_mask = 0 then begin
+      t.state <- t.state lor abandoned_bit;
+      let obs = t.abandon_obs in
+      t.abandon_obs <- [];
+      run_obs obs;
+      (* abandoning a compound abandons children that no live parent still
+         awaits *)
+      for i = 0 to n_children_of t - 1 do
+        let child = t.children.(i) in
+        if not (List.exists (fun p -> p.state land live_mask = 0) child.parents) then
+          go child
+      done
+    end
   in
-  go t;
-  List.rev !out
+  go t
+
+let on_abandon t f =
+  if t.state land abandoned_bit <> 0 then f () else t.abandon_obs <- f :: t.abandon_obs
+
+let rec peers t =
+  match t.peers_cache with
+  | Some l -> l
+  | None ->
+    let l =
+      if not (is_compound t) then (if t.peer_node < 0 then [] else [ t.peer_node ])
+      else begin
+        (* merge the children's (cached) peer lists, deduplicating by
+           first occurrence — identical to a DFS pre-order of the tree *)
+        let seen = Hashtbl.create 8 in
+        let out = ref [] in
+        if t.peer_node >= 0 then begin
+          Hashtbl.add seen t.peer_node ();
+          out := [ t.peer_node ]
+        end;
+        for i = 0 to n_children_of t - 1 do
+          List.iter
+            (fun p ->
+              if not (Hashtbl.mem seen p) then begin
+                Hashtbl.add seen p ();
+                out := p :: !out
+              end)
+            (peers t.children.(i))
+        done;
+        List.rev !out
+      end
+    in
+    t.peers_cache <- Some l;
+    l
 
 let stallers t =
   (* a-priori structural analysis: readiness is ignored, the question is
@@ -148,13 +243,17 @@ let stallers t =
      (straggler discard after a quorum fired) is ignored — for completed
      waits the analysis stays purely structural. *)
   let rec can_stall p e =
-    if not (is_compound e) then e.peer_node = Some p
-    else
-      let blocked c =
-        ((not e.ready) && c.abandoned && not c.ready) || can_stall p c
-      in
-      let stallable = List.length (List.filter blocked e.children) in
-      e.n_children - stallable < required e
+    if not (is_compound e) then e.peer_node = p
+    else begin
+      let stallable = ref 0 in
+      let e_pending = e.state land ready_bit = 0 in
+      for i = 0 to n_children_of e - 1 do
+        let c = e.children.(i) in
+        if (e_pending && c.state land live_mask = abandoned_bit) || can_stall p c then
+          incr stallable
+      done;
+      n_children_of e - !stallable < required e
+    end
   in
   List.filter (fun p -> can_stall p t) (peers t)
 
@@ -170,6 +269,7 @@ let kind_name = function
 let pp fmt t =
   Format.fprintf fmt "#%d:%s%s%s%s" t.id (kind_name t.kind)
     (if t.label = "" then "" else "(" ^ t.label ^ ")")
-    (if is_compound t then Printf.sprintf "[%d/%d ready, need %d]" t.n_ready t.n_children (required t)
+    (if is_compound t then
+       Printf.sprintf "[%d/%d ready, need %d]" (n_ready_of t) (n_children_of t) (required t)
      else "")
-    (if t.ready then "!" else if t.abandoned then "x" else "?")
+    (if is_ready t then "!" else if is_abandoned t then "x" else "?")

@@ -67,7 +67,16 @@ val add : t -> child:t -> unit
     @raise Invalid_argument on basic events or if [parent] already fired. *)
 
 val children : t -> t list
-(** Children in attachment order (compound events; [] for basic). *)
+(** Children in attachment order (compound events; [] for basic).
+    Allocates a fresh list per call — hot paths should use {!child_count}
+    or {!iter_children} instead. *)
+
+val child_count : t -> int
+(** Number of attached children, O(1) and allocation-free. *)
+
+val iter_children : t -> (t -> unit) -> unit
+(** Apply a function to each child in attachment order without
+    materialising the child list. *)
 
 val required : t -> int
 (** Number of ready children needed for a compound to fire, resolved
@@ -77,7 +86,10 @@ val peer : t -> int option
 (** Remote node this basic event depends on, if any. *)
 
 val peers : t -> int list
-(** All remote nodes the event transitively depends on (deduplicated). *)
+(** All remote nodes the event transitively depends on (deduplicated, DFS
+    pre-order). The result is cached on the event and invalidated when the
+    subtree gains children, so repeated calls are O(1); callers must not
+    mutate the returned list. *)
 
 val stallers : t -> int list
 (** Remote nodes that can {e single-handedly} prevent the event from firing:

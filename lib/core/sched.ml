@@ -34,12 +34,14 @@ let resume : type a. t -> ctx -> (a, unit) Effect.Deep.continuation -> a -> unit
   Effect.Deep.continue k v;
   t.current <- saved
 
+(* O(1): arity fields are counters on the event, and peer/staller analysis
+   is deferred to whoever consumes the record (Trace is lazy) *)
 let record_wait t ctx ev ~t_start ~outcome =
   if Trace.is_enabled t.trace_rec then
     let k, n =
       match Event.kind ev with
       | Event.Quorum | Event.And_ | Event.Or_ ->
-        (Event.required ev, List.length (Event.children ev))
+        (Event.required ev, Event.child_count ev)
       | Event.Signal | Event.Timer | Event.Rpc | Event.Disk -> (1, 1)
     in
     Trace.record_wait t.trace_rec
@@ -47,16 +49,13 @@ let record_wait t ctx ev ~t_start ~outcome =
         Trace.cid = ctx.cid;
         node = ctx.node;
         coroutine = ctx.name;
-        event_id = Event.id ev;
-        event_kind = Event.kind ev;
-        event_label = Event.label ev;
+        event = ev;
         quorum_k = k;
         quorum_n = n;
-        peers = Event.peers ev;
-        stallers = Event.stallers ev;
         t_start;
         t_end = now t;
         outcome = (match outcome with Ready -> Trace.Ready | Timed_out -> Trace.Timed_out);
+        stallers_memo = None;
       }
 
 let rec spawn_ctx t ctx f =

@@ -22,7 +22,7 @@ let of_trace trace =
             let prev = Option.value ~default:0 (Hashtbl.find_opt edge_tbl key) in
             Hashtbl.replace edge_tbl key (prev + 1)
           end)
-        w.Trace.peers);
+        (Trace.peers w));
   { edge_tbl }
 
 let edges t =
@@ -78,7 +78,7 @@ let audit ?(allow = fun ~node:_ -> false) trace =
       if not (allow ~node:w.Trace.node) then
         List.iter
           (fun p -> if p <> w.Trace.node then out := { v_wait = w; v_peer = p } :: !out)
-          w.Trace.stallers);
+          (Trace.stallers w));
   List.rev !out
 
 let is_fail_slow_tolerant ?allow trace = audit ?allow trace = []

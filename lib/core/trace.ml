@@ -4,44 +4,106 @@ type wait = {
   cid : int;
   node : int;
   coroutine : string;
-  event_id : int;
-  event_kind : Event.kind;
-  event_label : string;
+  event : Event.t;
   quorum_k : int;
   quorum_n : int;
-  peers : int list;
-  stallers : int list;
   t_start : Sim.Time.t;
   t_end : Sim.Time.t;
   outcome : outcome;
+  mutable stallers_memo : int list option;
 }
+
+let event w = w.event
+let event_id w = Event.id w.event
+let event_kind w = Event.kind w.event
+let event_label w = Event.label w.event
+
+(* lazy capture: the wait record keeps the event itself; peer/staller sets
+   are derived on demand. [Event.peers] is cached on the event, and the
+   staller analysis — the expensive part — runs at most once per record. *)
+let peers w = Event.peers w.event
+
+let stallers w =
+  match w.stallers_memo with
+  | Some l -> l
+  | None ->
+    let l = Event.stallers w.event in
+    w.stallers_memo <- Some l;
+    l
 
 type t = {
   mutable enabled : bool;
-  records : wait Queue.t;
+  capacity : int;
+  mutable buf : wait array;  (* ring; allocated on first record *)
+  mutable start : int;  (* index of the oldest record *)
+  mutable len : int;
+  mutable dropped : int;
   mutable subscribers : (wait -> unit) list;
 }
 
-let create ?(enabled = false) () = { enabled; records = Queue.create (); subscribers = [] }
+let default_capacity = 1 lsl 16
+
+(* placeholder for empty ring slots; never observable through the API *)
+let dummy_wait =
+  lazy
+    {
+      cid = -1;
+      node = -1;
+      coroutine = "";
+      event = Event.signal ~label:"(trace-dummy)" ();
+      quorum_k = 0;
+      quorum_n = 0;
+      t_start = Sim.Time.zero;
+      t_end = Sim.Time.zero;
+      outcome = Ready;
+      stallers_memo = Some [];
+    }
+
+let create ?(capacity = default_capacity) ?(enabled = false) () =
+  if capacity < 1 then invalid_arg "Trace.create: capacity must be positive";
+  { enabled; capacity; buf = [||]; start = 0; len = 0; dropped = 0; subscribers = [] }
+
 let enable t = t.enabled <- true
 let disable t = t.enabled <- false
 let is_enabled t = t.enabled
+let capacity t = t.capacity
+let dropped t = t.dropped
 
 let record_wait t w =
   if t.enabled then begin
-    Queue.add w t.records;
+    if Array.length t.buf = 0 then t.buf <- Array.make t.capacity (Lazy.force dummy_wait);
+    if t.len = t.capacity then begin
+      (* full: overwrite the oldest record (drop-oldest policy) *)
+      t.buf.(t.start) <- w;
+      t.start <- (t.start + 1) mod t.capacity;
+      t.dropped <- t.dropped + 1
+    end
+    else begin
+      t.buf.((t.start + t.len) mod t.capacity) <- w;
+      t.len <- t.len + 1
+    end;
     List.iter (fun f -> f w) t.subscribers
   end
 
-let waits t = List.of_seq (Queue.to_seq t.records)
-let wait_count t = Queue.length t.records
-let clear t = Queue.clear t.records
-let iter t f = Queue.iter f t.records
+let waits t = List.init t.len (fun i -> t.buf.((t.start + i) mod t.capacity))
+let wait_count t = t.len
+
+let clear t =
+  if Array.length t.buf > 0 then Array.fill t.buf 0 t.capacity (Lazy.force dummy_wait);
+  t.start <- 0;
+  t.len <- 0;
+  t.dropped <- 0
+
+let iter t f =
+  for i = 0 to t.len - 1 do
+    f t.buf.((t.start + i) mod t.capacity)
+  done
+
 let on_wait t f = t.subscribers <- f :: t.subscribers
 
 let pp_wait fmt w =
   Format.fprintf fmt "[%a-%a] c%d@n%d %s waits #%d %s %d/%d peers=[%s] %s" Sim.Time.pp
-    w.t_start Sim.Time.pp w.t_end w.cid w.node w.coroutine w.event_id w.event_label
+    w.t_start Sim.Time.pp w.t_end w.cid w.node w.coroutine (event_id w) (event_label w)
     w.quorum_k w.quorum_n
-    (String.concat "," (List.map string_of_int w.peers))
+    (String.concat "," (List.map string_of_int (peers w)))
     (match w.outcome with Ready -> "ready" | Timed_out -> "timeout")

@@ -2,10 +2,20 @@
 
     Every wait executed by a coroutine is recorded with the identity of the
     waiter (coroutine + node), the event waited on, its quorum arity at wait
-    time, the remote peers it depends on, and the wait's duration and
-    outcome. Traces feed the slowness propagation graph ({!Spg}) and the
-    fail-slow audit, and are the hook for the paper's §5 failure
-    detectors. *)
+    time, and the wait's duration and outcome. Traces feed the slowness
+    propagation graph ({!Spg}) and the fail-slow audit, and are the hook for
+    the paper's §5 failure detectors.
+
+    Records live in a fixed-capacity ring buffer: recording a wait is O(1)
+    and allocation-free beyond the record itself, and once the ring is full
+    the {e oldest} record is overwritten ({!dropped} counts how many).
+    Peer and staller sets are captured {e lazily}: the record holds the
+    event, and {!peers}/{!stallers} derive the sets on first use (memoised),
+    so a trace-enabled wait never pays for an analysis nobody reads. For
+    waits that ended [Ready] the root event is frozen (children cannot be
+    added to a fired compound), so lazy evaluation matches eager capture;
+    for [Timed_out] waits on still-live events the sets reflect the
+    structure at first read, which is at least as current as record time. *)
 
 type outcome = Ready | Timed_out
 
@@ -13,37 +23,58 @@ type wait = {
   cid : int;  (** waiting coroutine *)
   node : int;  (** node the coroutine runs on; -1 if untagged *)
   coroutine : string;  (** coroutine name *)
-  event_id : int;
-  event_kind : Event.kind;
-  event_label : string;
+  event : Event.t;  (** the event waited on *)
   quorum_k : int;  (** children needed (1 for basic events) *)
   quorum_n : int;  (** children attached (1 for basic events) *)
-  peers : int list;  (** remote nodes the event depends on *)
-  stallers : int list;  (** remote nodes able to single-handedly stall it *)
   t_start : Sim.Time.t;
   t_end : Sim.Time.t;
   outcome : outcome;
+  mutable stallers_memo : int list option;  (** internal memo; use {!stallers} *)
 }
+
+val event : wait -> Event.t
+val event_id : wait -> int
+val event_kind : wait -> Event.kind
+val event_label : wait -> string
+
+val peers : wait -> int list
+(** Remote nodes the event depends on (cached on the event). *)
+
+val stallers : wait -> int list
+(** Remote nodes able to single-handedly stall the wait
+    (see {!Event.stallers}); computed on first call, then memoised. *)
 
 type t
 
-val create : ?enabled:bool -> unit -> t
+val create : ?capacity:int -> ?enabled:bool -> unit -> t
+(** [capacity] bounds the ring (default 65536 records); the buffer itself
+    is allocated lazily on the first recorded wait. *)
+
 val enable : t -> unit
 val disable : t -> unit
 val is_enabled : t -> bool
 
+val capacity : t -> int
+
 val record_wait : t -> wait -> unit
 
 val waits : t -> wait list
-(** In recording order. *)
+(** In recording order, oldest first. *)
 
 val wait_count : t -> int
+(** Records currently held (≤ capacity). *)
+
+val dropped : t -> int
+(** Records overwritten because the ring was full. *)
+
 val clear : t -> unit
+(** Drop all records (and reset {!dropped}). *)
 
 val iter : t -> (wait -> unit) -> unit
 
 val on_wait : t -> (wait -> unit) -> unit
-(** Streaming subscription: called for every subsequent recorded wait. Used
-    by online failure detectors. *)
+(** Streaming subscription: called for every subsequent recorded wait
+    (including waits that will later be overwritten in the ring). Used by
+    online failure detectors. *)
 
 val pp_wait : Format.formatter -> wait -> unit

@@ -16,13 +16,15 @@ let cell_of t name =
 
 let names_of t (w : Trace.wait) =
   match t.key with
-  | By_label -> [ (if w.event_label = "" then "(unnamed)" else w.event_label) ]
+  | By_label ->
+    let label = Trace.event_label w in
+    [ (if label = "" then "(unnamed)" else label) ]
   | By_node -> [ Printf.sprintf "n%d" w.node ]
   | By_edge ->
     List.filter_map
       (fun p ->
         if p = w.node then None else Some (Printf.sprintf "n%d->n%d" w.node p))
-      w.peers
+      (Trace.peers w)
 
 let observe t w =
   let duration = Sim.Time.diff w.Trace.t_end w.Trace.t_start in

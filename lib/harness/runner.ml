@@ -58,10 +58,14 @@ type cell = {
 }
 
 (** Run one experiment cell on a fresh engine. [slow_count] faulty
-    followers (paper: 1 in 3-node, a minority — 2 — in 5-node setups). *)
-let run_cell ?(cfg = Raft.Config.default) ~params ~system ~n ~slow_count ~fault () =
+    followers (paper: 1 in 3-node, a minority — 2 — in 5-node setups).
+    [trace] records every wait into the scheduler's trace ring for the whole
+    run — used to measure the overhead of always-on tracing. *)
+let run_cell ?(cfg = Raft.Config.default) ?(trace = false) ~params ~system ~n
+    ~slow_count ~fault () =
   let engine = Sim.Engine.create ~seed:params.Params.seed () in
   let sched = Depfast.Sched.create engine in
+  if trace then Depfast.Trace.enable (Depfast.Sched.trace sched);
   let sut = build system sched ~n ~cfg in
   (match fault with
   | None -> ()

@@ -34,11 +34,13 @@ let truncate_from t i =
     t.len <- i - 1
   end
 
-let slice t ~from ~max =
-  if from < 1 || from > t.len then []
+let slice_array t ~from ~max =
+  if from < 1 || from > t.len then [||]
   else
     let stop = min t.len (from + max - 1) in
-    List.init (stop - from + 1) (fun k -> t.entries.(from - 1 + k))
+    Array.sub t.entries (from - 1) (stop - from + 1)
+
+let slice t ~from ~max = Array.to_list (slice_array t ~from ~max)
 
 let length t = t.len
 

@@ -22,8 +22,12 @@ val append : t -> Types.entry -> unit
 val truncate_from : t -> Types.index -> unit
 (** Drop entries at indices >= the given one (conflict resolution). *)
 
+val slice_array : t -> from:Types.index -> max:int -> Types.entry array
+(** Up to [max] entries starting at [from] ([||] if [from] is past the end).
+    One [Array.sub] of the backing store; the hot path for replication. *)
+
 val slice : t -> from:Types.index -> max:int -> Types.entry list
-(** Up to [max] entries starting at [from] ([] if [from] is past the end). *)
+(** {!slice_array} as a list, for callers that want one. *)
 
 val length : t -> int
 (** Number of real entries ([last_index]). *)

@@ -56,6 +56,7 @@ type t = {
   mutable rounds_inflight : int;  (* pipelined replication rounds *)
   round_cv : Depfast.Condvar.t;
   append_mu : Depfast.Mutex.t;  (* serial, in-order replication-stream apply *)
+  match_buf : int array;  (* scratch for the commit rule, one slot per voter *)
 }
 
 let id t = Cluster.Node.id t.node
@@ -109,19 +110,42 @@ let step_down t new_term ~leader =
   (match leader with Some _ -> t.leader <- leader | None -> ());
   if was_leader then fail_pending t
 
+(* k-th (0-based) largest by quickselect with a descending Hoare partition:
+   O(n) expected, in place, so the per-ack commit rule allocates nothing *)
+let rec select_kth (a : int array) lo hi k =
+  if lo >= hi then a.(lo)
+  else begin
+    let pivot = a.((lo + hi) / 2) in
+    let i = ref lo and j = ref hi in
+    while !i <= !j do
+      while a.(!i) > pivot do
+        incr i
+      done;
+      while a.(!j) < pivot do
+        decr j
+      done;
+      if !i <= !j then begin
+        let tmp = a.(!i) in
+        a.(!i) <- a.(!j);
+        a.(!j) <- tmp;
+        incr i;
+        decr j
+      end
+    done;
+    if k <= !j then select_kth a lo !j k
+    else if k >= !i then select_kth a !i hi k
+    else a.(k)
+  end
+
 (* commit rule: the majority-replicated index, restricted to entries of the
    current term (Raft §5.4.2) *)
 let advance_commit t =
   if t.role = Leader then begin
-    let matches =
-      (* the leader's own vote counts only up to its durable WAL index *)
-      t.wal_done_index
-      :: List.map
-           (fun p -> (Hashtbl.find t.followers p).match_index)
-           t.peers
-    in
-    let sorted = List.sort (fun a b -> compare b a) matches in
-    let candidate = List.nth sorted (Config.majority t.n_voters - 1) in
+    (* the leader's own vote counts only up to its durable WAL index *)
+    let buf = t.match_buf in
+    buf.(0) <- t.wal_done_index;
+    List.iteri (fun i p -> buf.(i + 1) <- (Hashtbl.find t.followers p).match_index) t.peers;
+    let candidate = select_kth buf 0 (t.n_voters - 1) (Config.majority t.n_voters - 1) in
     let rec settle n =
       if n > t.commit_index then
         match Rlog.term_at t.rlog n with
@@ -176,14 +200,14 @@ let sender_window = 64 * 1024 * 1024
 
 let send_append t fs =
   let from = fs.sent_index + 1 in
-  let entries = Rlog.slice t.rlog ~from ~max:t.cfg.Config.batch_max in
-  let n = List.length entries in
+  let entries = Rlog.slice_array t.rlog ~from ~max:t.cfg.Config.batch_max in
+  let n = Array.length entries in
   if n > 0 then
     cpu_work t
       (t.cfg.Config.cost_per_follower + (n * t.cfg.Config.cost_send_entry));
   let prev_index = from - 1 in
   let prev_term = Option.value ~default:0 (Rlog.term_at t.rlog prev_index) in
-  let bytes = 256 + entries_bytes entries in
+  let bytes = 256 + entries_bytes_a entries in
   fs.sent_index <- prev_index + n;
   fs.last_send <- now t;
   fs.in_flight_bytes <- fs.in_flight_bytes + bytes;
@@ -607,7 +631,7 @@ let handle_append_entries t ~term ~leader ~prev_index ~prev_term ~entries ~commi
   let cfg = t.cfg in
   cpu_work t
     (cfg.Config.cost_follower_fixed
-    + (List.length entries * cfg.Config.cost_follower_entry));
+    + (Array.length entries * cfg.Config.cost_follower_entry));
   if term < t.term then Append_resp { term = t.term; success = false; match_index = 0 }
   else begin
     if term > t.term || t.role <> Follower then step_down t term ~leader:(Some leader);
@@ -619,7 +643,7 @@ let handle_append_entries t ~term ~leader ~prev_index ~prev_term ~entries ~commi
         { term = t.term; success = false; match_index = Rlog.last_index t.rlog }
     else begin
       (* idempotent append with conflict truncation *)
-      List.iter
+      Array.iter
         (fun e ->
           match Rlog.term_at t.rlog e.index with
           | Some tm when tm = e.term -> ()
@@ -629,10 +653,10 @@ let handle_append_entries t ~term ~leader ~prev_index ~prev_term ~entries ~commi
           | None ->
             if e.index = Rlog.last_index t.rlog + 1 then Rlog.append t.rlog e)
         entries;
-      let match_index = prev_index + List.length entries in
-      if entries <> [] then begin
+      let match_index = prev_index + Array.length entries in
+      if Array.length entries > 0 then begin
         let bytes =
-          entries_bytes entries + (List.length entries * cfg.Config.wal_entry_overhead)
+          entries_bytes_a entries + (Array.length entries * cfg.Config.wal_entry_overhead)
         in
         (* depfast-lint: allow lock-across-wait — the append lock is the
            documented FIFO-stream substitution (DESIGN §5): appends must
@@ -740,6 +764,7 @@ let create rpc node ~peers ~cfg =
       rounds_inflight = 0;
       round_cv = Depfast.Condvar.create ~label:"rounds" ();
       append_mu = Depfast.Mutex.create ~label:"append" ();
+      match_buf = Array.make (List.length peers + 1) 0;
     }
   in
   reset_follower_state t;

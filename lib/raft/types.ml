@@ -45,7 +45,7 @@ type req =
       leader : int;
       prev_index : index;
       prev_term : term;
-      entries : entry list;
+      entries : entry array;  (** sliced straight out of the leader's log *)
       commit : index;
     }
   | Client_request of { cmd : command; client_id : int; seq : int }
@@ -79,3 +79,4 @@ let entry_bytes e =
   | Tx_commit _ | Tx_abort _ -> 72
 
 let entries_bytes es = List.fold_left (fun acc e -> acc + entry_bytes e) 0 es
+let entries_bytes_a es = Array.fold_left (fun acc e -> acc + entry_bytes e) 0 es

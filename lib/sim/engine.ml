@@ -1,9 +1,9 @@
-type timer = Heap.handle
+type timer = (unit -> unit) Wheel.handle
 
 type t = {
   mutable clock : Time.t;
   ready : (unit -> unit) Queue.t;
-  timers : (unit -> unit) Heap.t;
+  timers : (unit -> unit) Wheel.t;
   root_rng : Rng.t;
 }
 
@@ -11,7 +11,7 @@ let create ?(seed = 1L) () =
   {
     clock = Time.zero;
     ready = Queue.create ();
-    timers = Heap.create ();
+    timers = Wheel.create ();
     root_rng = Rng.create seed;
   }
 
@@ -22,27 +22,33 @@ let post t f = Queue.add f t.ready
 
 let schedule t ~delay f =
   let delay = if delay < 0 then 0 else delay in
-  Heap.push t.timers ~time:(Time.add t.clock delay) f
+  Wheel.push t.timers ~time:(Time.add t.clock delay) f
 
 let schedule_at t ~time f =
   let time = if time < t.clock then t.clock else time in
-  Heap.push t.timers ~time f
+  Wheel.push t.timers ~time f
 
-let cancel t h = Heap.cancel t.timers h
-let pending t = Queue.length t.ready + Heap.size t.timers
+let cancel t h = Wheel.cancel t.timers h
+let pending t = Queue.length t.ready + Wheel.size t.timers
+
+(* sentinel for the allocation-free timer pop; compared physically, so a
+   user-scheduled [fun () -> ()] can never collide with it *)
+let no_timer () = ()
 
 let step t =
   if not (Queue.is_empty t.ready) then begin
     (Queue.pop t.ready) ();
     true
   end
-  else
-    match Heap.pop t.timers with
-    | None -> false
-    | Some (time, f) ->
-      t.clock <- time;
+  else begin
+    let f = Wheel.take_or t.timers ~default:no_timer in
+    if f == no_timer then false
+    else begin
+      t.clock <- Wheel.pos t.timers;
       f ();
       true
+    end
+  end
 
 let run ?until t =
   let continue () =
@@ -53,7 +59,7 @@ let run ?until t =
          remains; timers beyond the deadline stay pending *)
       if not (Queue.is_empty t.ready) then t.clock <= deadline
       else
-        match Heap.peek_time t.timers with
+        match Wheel.peek_time t.timers with
         | None -> false
         | Some time -> time <= deadline)
   in

@@ -1,8 +1,10 @@
 (** The discrete-event simulation engine.
 
     Owns the virtual clock and two work sources: a FIFO of thunks to run at
-    the current instant ({!post}) and a timer heap of thunks to run at a
-    future instant ({!schedule}). {!run} executes work in time order until
+    the current instant ({!post}) and a timer structure of thunks to run at a
+    future instant ({!schedule}) — a hierarchical timer wheel ({!Wheel}) with
+    a heap fallback for far-future deadlines. {!run} executes work in time
+    order until
     quiescence (or a deadline), advancing the clock only when the ready FIFO
     is empty. Everything above (coroutines, network, disks) is built out of
     these two primitives. *)

@@ -84,6 +84,13 @@ let peek_time t =
   drop_dead t;
   if t.len = 0 then None else Some (get t 0).time
 
+let peek t =
+  drop_dead t;
+  if t.len = 0 then None
+  else
+    let e = get t 0 in
+    Some (e.time, e.value)
+
 let pop t =
   drop_dead t;
   if t.len = 0 then None

@@ -23,5 +23,8 @@ val cancelled : handle -> bool
 val peek_time : 'a t -> Time.t option
 (** Earliest live entry's time, skipping cancelled entries. *)
 
+val peek : 'a t -> (Time.t * 'a) option
+(** Earliest live entry without removing it. *)
+
 val pop : 'a t -> (Time.t * 'a) option
 (** Remove and return the earliest live entry. *)

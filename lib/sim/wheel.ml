@@ -1,0 +1,366 @@
+(* Hierarchical timer wheel with a heap fallback for far-future deadlines.
+
+   Levels are 32 slots wide; the slot width at level [l] is [32^l] us, so the
+   wheel covers [32^levels] us (~17.9 min) from the current position. One slot
+   holds exactly one "tick" of its level at any moment (ticks only approach as
+   the position advances, they never wrap past a live entry), so the first
+   non-empty slot in tick order holds the level's minimum.
+
+   Pops drive everything: popping from a level >= 1 slot re-places that slot's
+   surviving siblings relative to the new position (the cascade), which lands
+   them at a strictly lower level because they share the popped entry's tick.
+   Peeks never cascade — they only scan and lazily drop cancelled entries — so
+   a peek can never misplace an entry that a later push would have outrun.
+
+   Two memoisations keep steady-state pops cheap and allocation-free:
+
+   - Each level memoises its minimum entry (its slot is derivable from its
+     time). The memo survives pops from *other* levels: a pop only moves
+     [pos] up to the global minimum, never past a live entry, so a level's
+     min is unchanged until that level itself is mutated — a push into it, a
+     cancel of the memoised entry, or a pop/cascade touching it.
+
+   - A level-0 slot is a single microsecond, so its entries all share the
+     current minimum time and pop in seq order. The first pop from such a
+     slot moves the surviving siblings into the [due] queue in seq order;
+     while the queue holds a live entry, its head is the global minimum and
+     a pop is O(1). Same-instant pushes append (their seq is the largest
+     yet), keeping the queue sorted.
+
+   Dead entries (popped or cancelled) are skipped in place rather than
+   filtered out; a slot's storage is reclaimed when a scan finds it fully
+   dead, when its level empties, or at cascade time.
+
+   Determinism: entries carry a global sequence number and every comparison
+   (within a slot, across levels, and against the far heap) is on
+   [(time, seq)], so pop order is exactly that of the plain binary heap. *)
+
+let bits = 5
+let slots_per_level = 1 lsl bits
+let levels = 6
+let mask = slots_per_level - 1
+
+(* the handle is the entry itself: one allocation per push *)
+type 'a handle = {
+  time : Time.t;
+  seq : int;
+  value : 'a;
+  mutable level : int;
+      (* 0..levels-1 = wheel level, [levels] = far heap, -1 = dead *)
+  mutable heap_h : Heap.handle option;  (* set only for far-heap entries *)
+}
+
+type 'a t = {
+  mutable seq : int;
+  mutable alive : int;
+  mutable pos : Time.t;  (* time of the last pop; pushes are clamped to it *)
+  slots : 'a handle list array array;
+      (* level rows start as the shared [empty] row and materialise on first
+         placement, keeping [create] cheap (an engine is created per
+         simulation, and most only ever touch one or two levels) *)
+  empty : 'a handle list array;
+  counts : int array;  (* live entries per level, to skip empty levels *)
+  cands : 'a handle option array;
+      (* per-level memo: the level's min live entry; None = stale *)
+  mutable due : 'a handle list;
+      (* current-microsecond drain, ascending seq; head = next pop *)
+  mutable due_tail : 'a handle list;
+      (* same-instant pushes while draining, newest first; reversed onto
+         [due] when it empties (two-list queue) *)
+  far : 'a handle Heap.t;
+}
+
+let create () =
+  let empty = Array.make slots_per_level [] in
+  {
+    seq = 0;
+    alive = 0;
+    pos = Time.zero;
+    slots = Array.make levels empty;
+    empty;
+    counts = Array.make levels 0;
+    cands = Array.make levels None;
+    due = [];
+    due_tail = [];
+    far = Heap.create ();
+  }
+
+let is_empty t = t.alive = 0
+let size t = t.alive
+let pos t = t.pos
+let cancelled h = h.level < 0
+let live h = h.level >= 0
+let entry_lt a b = a.time < b.time || (a.time = b.time && a.seq < b.seq)
+let slot_of time l = (time lsr (bits * l)) land mask
+
+let rec place t e l =
+  if l = levels then begin
+    e.level <- levels;
+    e.heap_h <- Some (Heap.push t.far ~time:e.time e)
+  end
+  else if (e.time lsr (bits * l)) - (t.pos lsr (bits * l)) <= mask then begin
+    e.level <- l;
+    let row = t.slots.(l) in
+    let row =
+      if row != t.empty then row
+      else begin
+        let r = Array.make slots_per_level [] in
+        t.slots.(l) <- r;
+        r
+      end
+    in
+    let idx = slot_of e.time l in
+    row.(idx) <- e :: row.(idx);
+    t.counts.(l) <- t.counts.(l) + 1;
+    (* a valid memo only improves: [e] smaller means [e] is the new min;
+       a stale memo stays stale (nothing cheap to compare against) *)
+    match t.cands.(l) with
+    | Some b when entry_lt e b -> t.cands.(l) <- Some e
+    | _ -> ()
+  end
+  else place t e (l + 1)
+
+let due_active t =
+  match t.due with
+  | _ :: _ -> true
+  | [] -> ( match t.due_tail with _ :: _ -> true | [] -> false)
+
+let push t ~time value =
+  let time = if time < t.pos then t.pos else time in
+  let e = { time; seq = t.seq; value; level = 0; heap_h = None } in
+  t.seq <- t.seq + 1;
+  t.alive <- t.alive + 1;
+  if time = t.pos && due_active t then begin
+    (* same-instant push while the current microsecond drains: this entry's
+       seq is the largest yet, so it pops after everything queued — it goes
+       on the tail list, reversed in when the head list empties. Due
+       entries stay accounted to level 0 (drain/cancel decrement there). *)
+    t.due_tail <- e :: t.due_tail;
+    t.counts.(0) <- t.counts.(0) + 1
+  end
+  else place t e 0;
+  e
+
+let cancel t h =
+  if live h then begin
+    let l = h.level in
+    h.level <- -1;
+    t.alive <- t.alive - 1;
+    match h.heap_h with
+    | Some hh ->
+      h.heap_h <- None;
+      Heap.cancel t.far hh
+    | None ->
+      t.counts.(l) <- t.counts.(l) - 1;
+      if t.counts.(l) = 0 then begin
+        (* a level with no live entries can shed its dead ones eagerly *)
+        Array.fill t.slots.(l) 0 slots_per_level [];
+        t.cands.(l) <- None
+      end
+      else begin
+        match t.cands.(l) with
+        | Some b when b == h -> t.cands.(l) <- None
+        | _ -> ()
+      end
+  end
+
+(* min live entry of a slot, skipping dead entries in place (no rebuild and
+   no allocation until the final [Some]); [None] if it holds none *)
+let rec slot_min_from best = function
+  | [] -> best
+  | e :: tl -> slot_min_from (if live e && entry_lt e best then e else best) tl
+
+let rec slot_min es =
+  match es with
+  | [] -> None
+  | e :: tl -> if live e then Some (slot_min_from e tl) else slot_min tl
+
+(* min of the first slot with a live entry, in tick order from the current
+   position; fully-dead slots met on the way are emptied. Only called when
+   the level has at least one live entry, so it always finds one. *)
+let level_candidate t l =
+  let c = (t.pos lsr (bits * l)) land mask in
+  let found = ref None in
+  let d = ref 0 in
+  while (match !found with None -> true | Some _ -> false) && !d <= mask do
+    let idx = (c + !d) land mask in
+    (match t.slots.(l).(idx) with
+    | [] -> ()
+    | es -> (
+      match slot_min es with
+      | Some _ as m -> found := m
+      | None -> t.slots.(l).(idx) <- []));
+    incr d
+  done;
+  !found
+
+(* level of the minimum slot entry, or -1 if all levels are empty; tracks
+   the running best as a plain int so the scan allocates nothing (the memo
+   array holds the entries), refreshing stale memos as it goes *)
+let rec best_slot_level t l bl =
+  if l >= levels then bl
+  else begin
+    let bl =
+      if t.counts.(l) = 0 then bl
+      else begin
+        (match t.cands.(l) with
+        | Some _ -> ()
+        | None -> t.cands.(l) <- level_candidate t l);
+        match (t.cands.(l), if bl < 0 then None else t.cands.(bl)) with
+        | Some e, Some b -> if entry_lt e b then l else bl
+        | Some _, None -> l
+        | None, _ -> bl (* unreachable: the level has live entries *)
+      end
+    in
+    best_slot_level t (l + 1) bl
+  end
+
+(* drop dead (cancelled) entries from the front of the due queue, folding the
+   tail list in when the head list runs out; afterwards a non-empty [t.due]
+   starts with a live entry and [t.due_tail] is empty or unreachable-first *)
+let rec settle_due t =
+  match t.due with
+  | e :: tl ->
+    if not (live e) then begin
+      t.due <- tl;
+      settle_due t
+    end
+  | [] -> (
+    match t.due_tail with
+    | [] -> ()
+    | tail ->
+      t.due_tail <- [];
+      t.due <- List.rev tail;
+      settle_due t)
+
+let peek_time t =
+  settle_due t;
+  match t.due with
+  | e :: _ -> Some e.time
+  | [] -> begin
+    let bl = best_slot_level t 0 (-1) in
+    match ((if bl < 0 then None else t.cands.(bl)), Heap.peek_time t.far) with
+    | Some e, Some ft -> Some (if ft < e.time then ft else e.time)
+    | Some e, None -> Some e.time
+    | None, (Some _ as ft) -> ft
+    | None, None -> None
+  end
+
+(* [true] if the slot list is in strictly descending seq order — direct
+   pushes prepend with monotonically increasing seq *)
+let rec seq_descending : 'a handle list -> bool = function
+  | a :: (b :: _ as tl) -> a.seq > b.seq && seq_descending tl
+  | _ -> true
+
+(* [true] for strictly ascending seq order — a cascade re-places a
+   descending slot by prepending, which reverses it *)
+let rec seq_ascending : 'a handle list -> bool = function
+  | a :: (b :: _ as tl) -> a.seq < b.seq && seq_ascending tl
+  | _ -> true
+
+(* reverse, keeping only live entries; one cons per survivor *)
+let rec rev_live acc = function
+  | [] -> acc
+  | x :: tl -> rev_live (if live x then x :: acc else acc) tl
+
+(* hand the current microsecond's entries (all sharing the popped time) to
+   the due queue in seq order. An ascending slot — the cascade case — is
+   adopted as-is, allocating nothing; dead entries in it are dropped lazily
+   by [settle_due]. The queue is empty here: [pop] only reaches the slot
+   scan once it is. *)
+let activate_due t es =
+  if seq_ascending es then t.due <- es
+  else if seq_descending es then t.due <- rev_live [] es
+  else
+    t.due <-
+      List.sort
+        (fun (a : _ handle) b -> compare a.seq b.seq)
+        (List.filter (fun x -> live x) es)
+
+(* bookkeeping for removing entry [e]; callers then read e.time/e.value *)
+
+let drain_due t e tl =
+  t.due <- tl;
+  e.level <- -1;
+  t.alive <- t.alive - 1;
+  t.counts.(0) <- t.counts.(0) - 1;
+  t.pos <- e.time
+
+let drain_far t e =
+  e.level <- -1;
+  e.heap_h <- None;
+  t.alive <- t.alive - 1;
+  t.pos <- e.time
+
+let drain_slot t e l =
+  e.level <- -1;
+  t.alive <- t.alive - 1;
+  t.counts.(l) <- t.counts.(l) - 1;
+  t.pos <- e.time;
+  t.cands.(l) <- None;
+  let idx = slot_of e.time l in
+  if l > 0 then begin
+    (* cascade: the live siblings share the popped entry's level-[l] tick,
+       which is now the current one, so each re-places at a strictly lower
+       level; [place] keeps the destination levels' memos consistent. Dead
+       entries are skipped inline — no intermediate list. *)
+    let es = t.slots.(l).(idx) in
+    t.slots.(l).(idx) <- [];
+    List.iter
+      (fun x ->
+        if live x then begin
+          t.counts.(l) <- t.counts.(l) - 1;
+          place t x 0
+        end)
+      es
+  end
+  else begin
+    match t.slots.(0).(idx) with
+    | [] -> ()
+    | es ->
+      t.slots.(0).(idx) <- [];
+      activate_due t es
+  end
+
+(* the next slot-or-far entry, with ties broken on (time, seq): a far entry
+   left beyond the horizon at push time can come due as [pos] advances and
+   tie with a younger wheel entry *)
+let take_scan t =
+  let bl = best_slot_level t 0 (-1) in
+  match (if bl < 0 then None else t.cands.(bl)) with
+  | None -> (
+    match Heap.pop t.far with
+    | None -> None
+    | Some (_, e) ->
+      drain_far t e;
+      Some e)
+  | Some e -> (
+    match Heap.peek t.far with
+    | Some (_, fe) when entry_lt fe e -> (
+      match Heap.pop t.far with
+      | None -> None (* unreachable: just peeked *)
+      | Some (_, fe) ->
+        drain_far t fe;
+        Some fe)
+    | _ ->
+      drain_slot t e bl;
+      Some e)
+
+let pop t =
+  settle_due t;
+  match t.due with
+  | e :: tl ->
+    drain_due t e tl;
+    Some (e.time, e.value)
+  | [] -> (
+    match take_scan t with None -> None | Some e -> Some (e.time, e.value))
+
+(* allocation-free pop for the scheduler hot loop: returns [default] when
+   empty; the popped entry's time is left in [pos] *)
+let take_or t ~default =
+  settle_due t;
+  match t.due with
+  | e :: tl ->
+    drain_due t e tl;
+    e.value
+  | [] -> ( match take_scan t with None -> default | Some e -> e.value)

@@ -1,0 +1,54 @@
+(** Hierarchical timer wheel with the same interface and observable behaviour
+    as {!Heap}, tuned for the engine's timer workload: dense short timeouts
+    (network latencies, heartbeats, rpc timeouts) insert and extract in O(1)
+    amortised instead of O(log n).
+
+    Six levels of 32 slots cover [32^6] us (~17.9 min) from the current
+    position at microsecond resolution; deadlines beyond the horizon fall back
+    to a binary heap and are popped from there directly. Cancellation is O(1)
+    and lazy, as in {!Heap}.
+
+    Pop order is {e exactly} the heap's: ties on time break on a global
+    insertion sequence number, and the wheel-vs-fallback choice compares
+    [(time, seq)] before committing, so swapping {!Heap} for [Wheel] under the
+    engine cannot reorder a simulation.
+
+    Pushes must not be earlier than the last popped time (they are clamped to
+    it); the engine's clock discipline guarantees this. *)
+
+type 'a t
+
+type 'a handle
+(** Identifies an inserted entry; used to cancel it. *)
+
+val create : unit -> 'a t
+val is_empty : 'a t -> bool
+
+val size : 'a t -> int
+(** Live (non-cancelled) entries. *)
+
+val pos : 'a t -> Time.t
+(** Time of the last popped entry ({!Time.zero} initially). *)
+
+val push : 'a t -> time:Time.t -> 'a -> 'a handle
+(** O(1), one allocation. [time] earlier than the last popped time is
+    clamped to it. *)
+
+val cancel : 'a t -> 'a handle -> unit
+(** O(1); cancelling twice or after the entry fired is a no-op. *)
+
+val cancelled : 'a handle -> bool
+
+val peek_time : 'a t -> Time.t option
+(** Earliest live entry's time. Never re-buckets entries (safe to call
+    between pushes); the scan result is memoised until the next
+    push/cancel/pop that could change it. *)
+
+val pop : 'a t -> (Time.t * 'a) option
+(** Remove and return the earliest live entry, cascading its level's
+    surviving siblings to lower levels. *)
+
+val take_or : 'a t -> default:'a -> 'a
+(** {!pop} for the scheduler hot loop: returns the earliest live entry's
+    value, or [default] when empty, allocating nothing in steady state. The
+    popped entry's time is readable from {!pos}. *)

@@ -99,6 +99,36 @@ let test_nesting_and_of_quorums () =
   List.iteri (fun i e -> if i >= 1 then Event.fire e) evs2;
   check_bool "both shards done" true (Event.is_ready all)
 
+let test_children_order () =
+  (* the array-backed children must preserve attachment order through
+     growth (initial capacity is 6) *)
+  let q = Event.quorum (Event.Count 15) in
+  let cs = List.init 15 (fun i -> Event.rpc_completion ~peer:i ()) in
+  List.iter (fun c -> Event.add q ~child:c) cs;
+  check_int "count" 15 (Event.child_count q);
+  Alcotest.(check (list int))
+    "attachment order" (List.map Event.id cs)
+    (List.map Event.id (Event.children q));
+  let seen = ref [] in
+  Event.iter_children q (fun c -> seen := Event.id c :: !seen);
+  Alcotest.(check (list int))
+    "iter_children order" (List.map Event.id cs)
+    (List.rev !seen)
+
+let test_observer_order () =
+  (* observers run in registration order even though they are stored
+     reversed *)
+  let ev = Event.signal () in
+  let ran = ref [] in
+  List.iter (fun i -> Event.on_fire ev (fun () -> ran := i :: !ran)) [ 1; 2; 3 ];
+  Event.fire ev;
+  Alcotest.(check (list int)) "registration order" [ 1; 2; 3 ] (List.rev !ran);
+  let ab = Event.signal () in
+  let ran = ref [] in
+  List.iter (fun i -> Event.on_abandon ab (fun () -> ran := i :: !ran)) [ 1; 2; 3 ];
+  Event.abandon ab;
+  Alcotest.(check (list int)) "abandon observer order" [ 1; 2; 3 ] (List.rev !ran)
+
 let test_fire_compound_rejected () =
   let q = Event.quorum Event.Any in
   Alcotest.check_raises "fire compound" (Invalid_argument "Event.fire: compound events fire via children")
@@ -302,6 +332,8 @@ let suite =
         Alcotest.test_case "fire compound rejected" `Quick test_fire_compound_rejected;
         Alcotest.test_case "add to basic rejected" `Quick test_add_to_basic_rejected;
         Alcotest.test_case "peers deduplicated" `Quick test_peers;
+        Alcotest.test_case "children keep attachment order" `Quick test_children_order;
+        Alcotest.test_case "observers keep registration order" `Quick test_observer_order;
       ] );
     ( "event.compound",
       [

@@ -187,6 +187,119 @@ let test_hist_quantile_monotone =
       in
       mono vals && Sim.Hist.quantile h 1.0 = Sim.Hist.max_value h)
 
+(* ------------------------------------------------------------------ *)
+(* Timer wheel: any random push/pop/cancel sequence pops in exactly the
+   binary heap's order. Deltas mix duplicates (same-instant bursts that
+   exercise the due queue), mid-range values (slot scans and cascades) and
+   far-future jumps (the heap fallback); cancellation hits live and
+   already-popped handles alike. *)
+
+let wheel_ops_gen =
+  QCheck.Gen.(
+    list_size (int_range 1 400)
+      (frequency
+         [
+           (3, return (`Push 0));
+           (6, map (fun d -> `Push d) (int_range 0 40));
+           (3, map (fun d -> `Push d) (int_range 0 5_000));
+           (1, map (fun d -> `Push (d + (1 lsl 31))) (int_range 0 1000));
+           (4, return `Pop);
+           (2, map (fun k -> `Cancel k) (int_range 0 1_000_000));
+         ]))
+
+let test_wheel_matches_heap =
+  QCheck.Test.make ~name:"wheel pop order = heap pop order" ~count:300
+    (QCheck.make wheel_ops_gen) (fun ops ->
+      let w = Sim.Wheel.create () in
+      let h = Sim.Heap.create () in
+      let handles = ref [||] and n_handles = ref 0 in
+      let id = ref 0 in
+      let ok = ref true in
+      List.iter
+        (fun op ->
+          match op with
+          | `Push d ->
+            (* both structures see times >= the last popped time, matching
+               the engine's clock discipline *)
+            let time = Sim.Wheel.pos w + d in
+            incr id;
+            let wh = Sim.Wheel.push w ~time !id in
+            let hh = Sim.Heap.push h ~time !id in
+            if !n_handles = Array.length !handles then begin
+              let bigger = Array.make (max 8 (2 * !n_handles)) None in
+              Array.blit !handles 0 bigger 0 !n_handles;
+              handles := bigger
+            end;
+            !handles.(!n_handles) <- Some (wh, hh);
+            incr n_handles
+          | `Pop -> (
+            match (Sim.Wheel.pop w, Sim.Heap.pop h) with
+            | Some (tw, vw), Some (th, vh) -> ok := !ok && tw = th && vw = vh
+            | None, None -> ()
+            | Some _, None | None, Some _ -> ok := false)
+          | `Cancel k ->
+            if !n_handles > 0 then begin
+              match !handles.(k mod !n_handles) with
+              | Some (wh, hh) ->
+                Sim.Wheel.cancel w wh;
+                Sim.Heap.cancel h hh
+              | None -> ()
+            end)
+        ops;
+      let rec drain () =
+        match (Sim.Wheel.pop w, Sim.Heap.pop h) with
+        | Some (tw, vw), Some (th, vh) ->
+          ok := !ok && tw = th && vw = vh;
+          drain ()
+        | None, None -> ()
+        | Some _, None | None, Some _ -> ok := false
+      in
+      drain ();
+      !ok && Sim.Wheel.is_empty w && Sim.Heap.is_empty h)
+
+(* ------------------------------------------------------------------ *)
+(* Trace ring buffer: capacity bound, drop-oldest policy, dropped counter *)
+
+let mk_wait cid : Depfast.Trace.wait =
+  {
+    cid;
+    node = 0;
+    coroutine = "c";
+    event = Depfast.Event.signal ();
+    quorum_k = 1;
+    quorum_n = 1;
+    t_start = Sim.Time.zero;
+    t_end = Sim.Time.zero;
+    outcome = Depfast.Trace.Ready;
+    stallers_memo = Some [];
+  }
+
+let test_trace_ring_drop_oldest () =
+  let tr = Depfast.Trace.create ~capacity:4 ~enabled:true () in
+  for i = 1 to 6 do
+    Depfast.Trace.record_wait tr (mk_wait i)
+  done;
+  Alcotest.(check int) "bounded by capacity" 4 (Depfast.Trace.wait_count tr);
+  Alcotest.(check int) "two overwritten" 2 (Depfast.Trace.dropped tr);
+  Alcotest.(check (list int))
+    "oldest dropped, order kept" [ 3; 4; 5; 6 ]
+    (List.map (fun (w : Depfast.Trace.wait) -> w.cid) (Depfast.Trace.waits tr));
+  Depfast.Trace.clear tr;
+  Alcotest.(check int) "clear empties" 0 (Depfast.Trace.wait_count tr);
+  Alcotest.(check int) "clear resets dropped" 0 (Depfast.Trace.dropped tr);
+  Depfast.Trace.record_wait tr (mk_wait 9);
+  Alcotest.(check (list int))
+    "records again after clear" [ 9 ]
+    (List.map (fun (w : Depfast.Trace.wait) -> w.cid) (Depfast.Trace.waits tr))
+
+let test_trace_ring_disabled () =
+  let tr = Depfast.Trace.create ~capacity:4 () in
+  Depfast.Trace.record_wait tr (mk_wait 1);
+  Alcotest.(check int) "disabled records nothing" 0 (Depfast.Trace.wait_count tr);
+  Depfast.Trace.enable tr;
+  Depfast.Trace.record_wait tr (mk_wait 2);
+  Alcotest.(check int) "enabled records" 1 (Depfast.Trace.wait_count tr)
+
 let suite =
   [
     ( "properties",
@@ -198,5 +311,11 @@ let suite =
         QCheck_alcotest.to_alcotest test_event_algebra;
         QCheck_alcotest.to_alcotest test_station_conservation;
         QCheck_alcotest.to_alcotest test_hist_quantile_monotone;
+        QCheck_alcotest.to_alcotest test_wheel_matches_heap;
+      ] );
+    ( "trace.ring",
+      [
+        Alcotest.test_case "drop-oldest policy" `Quick test_trace_ring_drop_oldest;
+        Alcotest.test_case "disabled is a no-op" `Quick test_trace_ring_disabled;
       ] );
   ]

@@ -135,13 +135,13 @@ let test_trace_records_quorum_arity () =
   Sched.spawn s ~node:0 ~name:"leader" (fun () -> Sched.wait s q);
   Sched.run s;
   let w =
-    List.find (fun w -> w.Trace.event_kind = Event.Quorum) (Trace.waits (Sched.trace s))
+    List.find (fun w -> Trace.event_kind w = Event.Quorum) (Trace.waits (Sched.trace s))
   in
   check_int "k" 2 w.Trace.quorum_k;
   check_int "n" 3 w.Trace.quorum_n;
   check_int "node" 0 w.Trace.node;
-  Alcotest.(check (list int)) "peers" [ 1; 2; 3 ] w.Trace.peers;
-  Alcotest.(check (list int)) "no stallers" [] w.Trace.stallers
+  Alcotest.(check (list int)) "peers" [ 1; 2; 3 ] (Trace.peers w);
+  Alcotest.(check (list int)) "no stallers" [] (Trace.stallers w)
 
 let run_mixed_trace () =
   (* node 0 does a quorum wait over nodes 1-3 and a single rpc wait on
