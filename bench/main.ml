@@ -19,6 +19,33 @@ let params quick = if quick then Harness.Params.quick else Harness.Params.full
 (* --json collectors *)
 let micro_results : Micro.result list ref = ref []
 let trace_cmp : (float * float) option ref = ref None
+let lint_stats : (int * float * int) option ref = ref None  (* files, wall ms, findings *)
+
+(* static-analysis probe: wall time of the per-file lint plus the
+   whole-project interprocedural pass over the library sources — the
+   lint must stay cheap enough to run on every build *)
+let run_lint_json () =
+  match List.find_opt Sys.file_exists [ "../lib"; "lib" ] with
+  | None -> Printf.printf "lint probe: sources not available, skipped\n%!"
+  | Some root ->
+    let rec walk p acc =
+      if Sys.is_directory p then
+        Sys.readdir p |> Array.to_list |> List.sort compare
+        |> List.fold_left (fun acc e -> walk (Filename.concat p e) acc) acc
+      else if Filename.check_suffix p ".ml" && not (Filename.check_suffix p ".pp.ml") then
+        p :: acc
+      else acc
+    in
+    let files = List.rev (walk root []) in
+    let t0 = Unix.gettimeofday () in
+    let fs =
+      List.concat_map Analysis.Source_lint.lint_file files
+      @ Analysis.Interproc.analyze_files files
+    in
+    let ms = (Unix.gettimeofday () -. t0) *. 1000.0 in
+    lint_stats := Some (List.length files, ms, List.length fs);
+    Printf.printf "lint probe: %d file(s), %d finding(s) in %.1f ms\n%!" (List.length files)
+      (List.length fs) ms
 
 (* trace overhead probe: the same DepFastRaft quick cell with the wait-trace
    ring disabled and enabled; tracing must cost well under 10% throughput *)
@@ -49,13 +76,14 @@ let run_experiment ~json quick = function
     let rs = Micro.results () in
     if json then micro_results := rs;
     Micro.print rs
+  | "lint" -> run_lint_json ()
   | other ->
     Printf.eprintf
-      "unknown experiment %S (expected table1|fig1|fig2|fig3|ablation|mitigation|micro)\n"
+      "unknown experiment %S (expected table1|fig1|fig2|fig3|ablation|mitigation|micro|lint)\n"
       other;
     exit 2
 
-let all = [ "table1"; "fig1"; "fig2"; "fig3"; "ablation"; "mitigation"; "micro" ]
+let all = [ "table1"; "fig1"; "fig2"; "fig3"; "ablation"; "mitigation"; "micro"; "lint" ]
 
 (* hand-rolled JSON: two flat sections, no escaping needed beyond labels
    (which are ASCII without quotes/backslashes) *)
@@ -79,6 +107,13 @@ let write_json path =
          ",\n  \"fig1_trace\": {\"trace_off_tput\": %.2f, \"trace_on_tput\": %.2f, \
           \"ratio\": %.4f}"
          off on (on /. off))
+  | None -> ());
+  (match !lint_stats with
+  | Some (files, ms, findings) ->
+    Buffer.add_string buf
+      (Printf.sprintf
+         ",\n  \"lint\": {\"files\": %d, \"wall_ms\": %.2f, \"findings\": %d}" files ms
+         findings)
   | None -> ());
   Buffer.add_string buf "\n}\n";
   let oc = open_out path in

@@ -1,11 +1,19 @@
 (* depfast-lint: static fail-slow analysis over OCaml sources.
 
-   Walks the given paths (default: lib examples bench), lints every .ml
-   file and prints findings. Exits non-zero iff any finding is not
-   exempted by a [(* depfast-lint: allow rule-id *)] pragma, so the
-   @lint dune alias gates CI on it. *)
+   Walks the given paths (default: lib examples bench), runs the
+   per-file lint over every .ml file and — with [--interproc] — the
+   whole-project pass (module summaries, cross-module red waits,
+   lock-order cycles, quorum arity) over all of them together.
 
-let usage = "usage: depfast_lint [--quiet] [--rules] [path ...]"
+   Exit discipline: 0 when nothing gates, 1 when findings gate, 2 on
+   usage errors. By default only unallowed [error]-severity findings
+   gate; [--strict] escalates every unallowed finding (warnings and
+   infos included). [(* depfast-lint: allow rule-id *)] pragmas exempt
+   findings either way. *)
+
+let usage =
+  "usage: depfast_lint [--quiet] [--strict] [--interproc] [--format text|json] [--rules] \
+   [path ...]"
 
 let rec walk path acc =
   if Sys.is_directory path then
@@ -21,22 +29,46 @@ let rec walk path acc =
 
 let () =
   let quiet = ref false in
+  let strict = ref false in
+  let interproc = ref false in
+  let format = ref `Text in
   let paths = ref [] in
   let show_rules = ref false in
+  let expect_format = ref false in
   Array.iteri
     (fun i arg ->
       if i > 0 then
-        match arg with
-        | "--quiet" | "-q" -> quiet := true
-        | "--rules" -> show_rules := true
-        | "--help" | "-h" ->
-          print_endline usage;
-          exit 0
-        | p -> paths := p :: !paths)
+        if !expect_format then begin
+          expect_format := false;
+          match arg with
+          | "text" -> format := `Text
+          | "json" -> format := `Json
+          | other ->
+            Printf.eprintf "depfast_lint: unknown format %S (want text or json)\n" other;
+            exit 2
+        end
+        else
+          match arg with
+          | "--quiet" | "-q" -> quiet := true
+          | "--strict" -> strict := true
+          | "--interproc" -> interproc := true
+          | "--format" -> expect_format := true
+          | "--rules" -> show_rules := true
+          | "--help" | "-h" ->
+            print_endline usage;
+            exit 0
+          | p when String.length p > 0 && p.[0] = '-' ->
+            Printf.eprintf "depfast_lint: unknown option %s\n%s\n" p usage;
+            exit 2
+          | p -> paths := p :: !paths)
     Sys.argv;
+  if !expect_format then begin
+    Printf.eprintf "depfast_lint: --format needs an argument (text or json)\n";
+    exit 2
+  end;
   if !show_rules then begin
     List.iter
-      (fun (id, desc) -> Printf.printf "%-18s %s\n" id desc)
+      (fun (id, desc) -> Printf.printf "%-24s %s\n" id desc)
       Analysis.Finding.rules;
     exit 0
   end;
@@ -48,13 +80,38 @@ let () =
   end;
   let files = List.rev (List.fold_left (fun acc p -> walk p acc) [] roots) in
   let findings = List.concat_map Analysis.Source_lint.lint_file files in
+  let findings =
+    if !interproc then findings @ Analysis.Interproc.analyze_files files else findings
+  in
   let findings = List.sort Analysis.Finding.by_location findings in
-  let bad = Analysis.Finding.unallowed findings in
-  List.iter
-    (fun (f : Analysis.Finding.t) ->
-      if not (!quiet && f.Analysis.Finding.allowed) then
-        print_endline (Analysis.Finding.to_string f))
-    findings;
-  Printf.printf "depfast-lint: %d file(s), %d finding(s), %d unallowed\n" (List.length files)
-    (List.length findings) (List.length bad);
-  exit (if bad = [] then 0 else 1)
+  let gating = Analysis.Finding.gating ~strict:!strict findings in
+  let unallowed = Analysis.Finding.unallowed findings in
+  (match !format with
+  | `Text ->
+    List.iter
+      (fun (f : Analysis.Finding.t) ->
+        if not (!quiet && f.Analysis.Finding.allowed) then
+          print_endline (Analysis.Finding.to_string f))
+      findings;
+    Printf.printf "depfast-lint: %d file(s), %d finding(s), %d unallowed, %d gating%s\n"
+      (List.length files) (List.length findings) (List.length unallowed)
+      (List.length gating)
+      (if !interproc then " [interproc]" else "")
+  | `Json ->
+    (* one JSON document: summary + findings array, one finding per line *)
+    Printf.printf
+      "{ \"files\": %d, \"findings\": %d, \"unallowed\": %d, \"gating\": %d, \
+       \"interproc\": %b, \"strict\": %b, \"results\": [\n"
+      (List.length files) (List.length findings) (List.length unallowed)
+      (List.length gating) !interproc !strict;
+    let shown =
+      if !quiet then List.filter (fun (f : Analysis.Finding.t) -> not f.allowed) findings
+      else findings
+    in
+    List.iteri
+      (fun i f ->
+        Printf.printf "  %s%s\n" (Analysis.Finding.to_json f)
+          (if i < List.length shown - 1 then "," else ""))
+      shown;
+    print_string "] }\n");
+  exit (if gating = [] then 0 else 1)

@@ -1,0 +1,41 @@
+(** The project call graph: an index of function summaries keyed on
+    [Module.fn] (module from the defining file's basename), plus the
+    name-resolution rule shared by every interprocedural check, and a
+    small directed-graph toolkit with cycle reporting (used both here
+    and for the mutex acquisition-order graph).
+
+    Resolution is a heuristic over token streams, not a compiler: a
+    simple call [f] resolves inside the caller's own module; a dotted
+    call resolves on its last two segments, so [Raft.Server.tick],
+    [Server.tick] and a library-wrapped [Depfast.Event.fire] all reach
+    the right summary. On a basename collision the first definition
+    wins. *)
+
+type t
+
+val create : unit -> t
+val define : t -> Summary.t -> unit
+val find : t -> string -> Summary.t option
+
+val resolve : t -> current_module:string -> string -> Summary.t option
+(** Resolve a call as written in the source ([f], [M.f], [Lib.M.f]). *)
+
+val add_edge : t -> caller:string -> callee:string -> unit
+val edges : t -> (string * string) list
+val iter : t -> (Summary.t -> unit) -> unit
+
+module Digraph : sig
+  type edge = { src : string; dst : string; witness : string }
+  type g
+
+  val create : unit -> g
+  val add_edge : g -> src:string -> dst:string -> witness:string -> unit
+  val successors : g -> string -> edge list
+
+  val sccs : g -> string list list
+  (** Tarjan's strongly connected components. *)
+
+  val cycles : g -> (string list * edge list) list
+  (** One witness cycle per cyclic SCC: the node path
+      [n1; n2; ...; n1] and the edges (with witnesses) along it. *)
+end

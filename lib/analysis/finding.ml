@@ -18,6 +18,10 @@ let degenerate_quorum = "degenerate-quorum"
 let lock_across_wait = "lock-across-wait"
 let orphan_wait = "orphan-wait"
 let vacuous_quorum = "vacuous-quorum"
+let cross_module_red_wait = "cross-module-red-wait"
+let lock_across_call = "lock-across-call"
+let lock_order_cycle = "lock-order-cycle"
+let quorum_arity_mismatch = "quorum-arity-mismatch"
 
 let rules =
   [
@@ -27,6 +31,12 @@ let rules =
     (lock_across_wait, "suspension point reached while a Depfast.Mutex is held");
     (orphan_wait, "wait on an event no registered firer can ever fire");
     (vacuous_quorum, "quorum requiring more ready children than it can ever have");
+    (cross_module_red_wait,
+     "wait on a bare remote completion produced in another module (via a \
+      function return, tuple component, record field, or argument)");
+    (lock_across_call, "call into a (transitively) suspending function while a Depfast.Mutex is held");
+    (lock_order_cycle, "mutex acquisition-order cycle across functions/modules (static deadlock)");
+    (quorum_arity_mismatch, "quorum Count k inconsistent with the peer count flowing into it");
   ]
 
 let v ?(allowed = false) ~rule ~severity ~loc message =
@@ -47,6 +57,32 @@ let to_string f =
 
 let pp fmt f = Format.pp_print_string fmt (to_string f)
 let unallowed fs = List.filter (fun f -> not f.allowed) fs
+let gating ~strict fs = List.filter (fun f -> strict || f.severity = Error) (unallowed fs)
+
+let json_escape s =
+  let buf = Buffer.create (String.length s + 8) in
+  String.iter
+    (fun c ->
+      match c with
+      | '"' -> Buffer.add_string buf "\\\""
+      | '\\' -> Buffer.add_string buf "\\\\"
+      | '\n' -> Buffer.add_string buf "\\n"
+      | '\t' -> Buffer.add_string buf "\\t"
+      | c when Char.code c < 0x20 -> Buffer.add_string buf (Printf.sprintf "\\u%04x" (Char.code c))
+      | c -> Buffer.add_char buf c)
+    s;
+  Buffer.contents buf
+
+let to_json f =
+  let loc_fields =
+    match f.loc with
+    | File { file; line } -> Printf.sprintf "\"file\": \"%s\", \"line\": %d" (json_escape file) line
+    | Node { event_id; event_label } ->
+      Printf.sprintf "\"event_id\": %d, \"event_label\": \"%s\"" event_id (json_escape event_label)
+  in
+  Printf.sprintf
+    "{%s, \"rule\": \"%s\", \"severity\": \"%s\", \"allowed\": %b, \"message\": \"%s\"}"
+    loc_fields (json_escape f.rule) (severity_name f.severity) f.allowed (json_escape f.message)
 
 let by_location a b =
   match (a.loc, b.loc) with

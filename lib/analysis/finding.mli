@@ -41,6 +41,25 @@ val vacuous_quorum : string
 (** A quorum requiring more ready children than it can ever have
     ([Count k] with k > n). *)
 
+val cross_module_red_wait : string
+(** Interprocedural: a bare remote completion produced in one module
+    (via a function return, tuple component, record field, or argument)
+    and [Sched.wait]ed in another — invisible to any per-file pass. *)
+
+val lock_across_call : string
+(** Interprocedural generalization of {!lock_across_wait}: a call made
+    while holding a [Depfast.Mutex] into a function that (transitively)
+    suspends on an event. *)
+
+val lock_order_cycle : string
+(** A cycle in the static mutex acquisition-order graph, including
+    locks held across calls into other modules — a potential deadlock. *)
+
+val quorum_arity_mismatch : string
+(** A [Quorum (Count k)] whose k (resolved through constants, possibly
+    cross-module) exceeds the number of children that statically flow
+    into it. *)
+
 val rules : (string * string) list
 (** All rule ids with one-line descriptions. *)
 
@@ -53,6 +72,13 @@ val pp : Format.formatter -> t -> unit
 
 val unallowed : t list -> t list
 (** The findings not exempted by a pragma or allow predicate. *)
+
+val gating : strict:bool -> t list -> t list
+(** The unallowed findings that should fail the build: [Error]s only by
+    default, every unallowed finding under [~strict:true]. *)
+
+val to_json : t -> string
+(** One finding as a JSON object (single line, fields escaped). *)
 
 val by_location : t -> t -> int
 (** Comparator for stable reporting order (file, line, rule). *)

@@ -1,0 +1,931 @@
+module SL = Source_lint
+
+(* Where a remote-completion fact came from; only facts that crossed a
+   boundary the per-file lint cannot see (another module, a record
+   field) are reported here — same-file facts are Source_lint's job. *)
+type prov = PLocal | PCross of string | PField of string
+
+type qcell = {
+  q_line : int;
+  q_count : int option;
+  mutable q_adds : int;
+  mutable q_unknown : bool;
+}
+
+type vfact =
+  | VRemote of SL.kind * prov
+  | VParam of int
+  | VInt of int
+  | VList of int
+  | VQuorum of qcell
+  | VNone
+
+type fn = {
+  f_qname : string;  (* "" for anonymous top-level units *)
+  f_params : string list;
+  f_line : int;
+  f_body : int;  (* first token of the body *)
+  f_end : int;  (* exclusive *)
+}
+
+type fctx = {
+  path : string;
+  mdl : string;
+  toks : Lexer.token array;
+  pm : int array;
+  pragmas : Lexer.pragma list;
+  mutable fns : fn list;  (* named functions, with summaries *)
+  mutable units : fn list;  (* value bindings, walked for findings only *)
+  consts : (string, int) Hashtbl.t;  (* module-level int constants *)
+  lens : (string, int) Hashtbl.t;  (* module-level list-literal lengths *)
+  aliases : (string, string) Hashtbl.t;  (* module-level name -> name aliases *)
+  mlocks : (string, unit) Hashtbl.t;  (* module-level mutexes *)
+  mvals : (string, SL.kind) Hashtbl.t;  (* module-level bare remote completions *)
+}
+
+type state = {
+  cg : Callgraph.t;
+  modmap : (string, fctx) Hashtbl.t;  (* module name -> defining file, first wins *)
+  fields : (string, SL.kind * string) Hashtbl.t;  (* record field -> kind, set-in file *)
+  (* lock-order graph: canonical-name edges with their witness site *)
+  edge_locs : (string * string, string * int) Hashtbl.t;
+  lock_graph : Callgraph.Digraph.g;
+}
+
+let iter_heads = [ "List.iter"; "List.iteri"; "List.map"; "List.mapi"; "Array.iter"; "Array.iteri" ]
+
+let is_upper c = c >= 'A' && c <= 'Z'
+let is_ident_at (a : Lexer.token array) i = i < Array.length a && Lexer.is_ident a.(i).Lexer.text
+
+let int_of_token txt =
+  int_of_string_opt (String.concat "" (String.split_on_char '_' txt))
+
+let segments name = String.split_on_char '.' name
+let last_segment name = List.nth (segments name) (List.length (segments name) - 1)
+
+(* Canonical name of a mutex expression: [Module.x] for module-level
+   mutexes, [.field] for record fields (merging same-named fields of
+   different types — an accepted over-approximation), ["?"...]-prefixed
+   when identity is unknowable (parameters, complex expressions); the
+   latter still count as "a lock is held" but join no order graph. *)
+let canon_lock ctx raw =
+  if SL.is_simple raw then
+    if Hashtbl.mem ctx.mlocks raw then ctx.mdl ^ "." ^ raw else "?" ^ raw
+  else
+    let first = List.hd (segments raw) in
+    if first <> "" && is_upper first.[0] then SL.last2 raw else "." ^ last_segment raw
+
+let canonical l = String.length l > 0 && l.[0] <> '?'
+
+(* ---- per-file extraction -------------------------------------------- *)
+
+let module_of_path path =
+  String.capitalize_ascii (Filename.remove_extension (Filename.basename path))
+
+(* Length of a list literal starting at a "[" token: depth-0 [;] count. *)
+let list_literal_length (a : Lexer.token array) i =
+  let n = Array.length a in
+  if i >= n || a.(i).Lexer.text <> "[" then None
+  else begin
+    let depth = ref 0 in
+    let semis = ref 0 in
+    let items = ref false in
+    let j = ref i in
+    let close = ref (-1) in
+    while !close < 0 && !j < n do
+      (match a.(!j).Lexer.text with
+      | "[" | "(" | "{" -> incr depth
+      | "]" | ")" | "}" ->
+        decr depth;
+        if !depth = 0 then close := !j
+      | ";" when !depth = 1 -> incr semis
+      | _ -> if !depth = 1 then items := true);
+      incr j
+    done;
+    (* string literals are consumed by the lexer, so a separator implies
+       two items even when no item token survives *)
+    if !close < 0 then None
+    else Some (if !semis > 0 then !semis + 1 else if !items then 1 else 0)
+  end
+
+(* Parse one top-level [let] item spanning tokens [b, e): either a named
+   function (params before the [=]), a named value binding (facts are
+   harvested from its right-hand side), or an anonymous unit. *)
+let parse_item ctx b e =
+  let a = ctx.toks in
+  let j = if b + 1 < e && a.(b + 1).Lexer.text = "rec" then b + 2 else b + 1 in
+  if j >= e then ()
+  else if a.(j).Lexer.text = "(" && ctx.pm.(j) >= 0 && ctx.pm.(j) + 1 < e
+          && a.(ctx.pm.(j) + 1).Lexer.text = "=" then
+    (* [let () = ...], [let (a, b) = ...]: anonymous walk unit *)
+    ctx.units <-
+      { f_qname = ""; f_params = []; f_line = a.(b).Lexer.line;
+        f_body = ctx.pm.(j) + 2; f_end = e }
+      :: ctx.units
+  else if is_ident_at a j && j < e then begin
+    let name = a.(j).Lexer.text in
+    if j + 1 < e && a.(j + 1).Lexer.text = "=" then begin
+      (* value binding: harvest module-level facts, and walk the body *)
+      let r = j + 2 in
+      (if r < e then
+         let t = a.(r).Lexer.text in
+         if t = "[" then (
+           match list_literal_length a r with
+           | Some l -> Hashtbl.replace ctx.lens name l
+           | None -> ())
+         else
+           match int_of_token t with
+           | Some v when not (Lexer.is_ident t) -> Hashtbl.replace ctx.consts name v
+           | _ ->
+             if Lexer.is_ident t then begin
+               let h, _, hn = SL.qualified a r in
+               let l2 = SL.last2 h in
+               if l2 = "Mutex.create" then Hashtbl.replace ctx.mlocks name ()
+               else
+                 match List.assoc_opt l2 SL.builtin_producers with
+                 | Some k -> Hashtbl.replace ctx.mvals name k
+                 | None ->
+                   (* a lone name is an alias worth chasing for constants *)
+                   if hn >= e || a.(hn).Lexer.line <> a.(r).Lexer.line then
+                     Hashtbl.replace ctx.aliases name h
+             end);
+      ctx.units <-
+        { f_qname = ""; f_params = []; f_line = a.(b).Lexer.line; f_body = r; f_end = e }
+        :: ctx.units
+    end
+    else begin
+      (* look for the [=] at paren depth 0, collecting positional params *)
+      let params = ref [] in
+      let eq = ref (-1) in
+      let k = ref (j + 1) in
+      while !eq < 0 && !k < e do
+        let t = a.(!k).Lexer.text in
+        if t = "=" then eq := !k
+        else if t = "(" then begin
+          params := "_" :: !params;
+          k := if ctx.pm.(!k) >= 0 then ctx.pm.(!k) + 1 else e
+        end
+        else if t = "~" || t = "?" then begin
+          (* labeled parameter: not positional; skip [~x] or [~x:pat] *)
+          k := !k + 2;
+          if !k < e && a.(!k).Lexer.text = ":" then begin
+            let _, k' = SL.parse_atom a ctx.pm (!k + 1) in
+            k := k'
+          end
+        end
+        else if t = ":" then begin
+          (* return-type annotation: scan directly to the [=] *)
+          while !k < e && a.(!k).Lexer.text <> "=" do
+            incr k
+          done;
+          if !k < e then eq := !k
+        end
+        else if Lexer.is_ident t then begin
+          params := t :: !params;
+          incr k
+        end
+        else incr k
+      done;
+      if !eq >= 0 && !eq + 1 < e then
+        ctx.fns <-
+          { f_qname = ctx.mdl ^ "." ^ name; f_params = List.rev !params;
+            f_line = a.(b).Lexer.line; f_body = !eq + 1; f_end = e }
+          :: ctx.fns
+    end
+  end
+
+let build_fctx (path, src) =
+  let { Lexer.tokens = toks; pragmas } = Lexer.scan src in
+  let ctx =
+    {
+      path; mdl = module_of_path path; toks; pm = SL.paren_matches toks; pragmas;
+      fns = []; units = [];
+      consts = Hashtbl.create 8; lens = Hashtbl.create 8; aliases = Hashtbl.create 8;
+      mlocks = Hashtbl.create 4; mvals = Hashtbl.create 4;
+    }
+  in
+  let bounds = SL.boundaries toks in
+  let n = Array.length toks in
+  let rec pairs = function
+    | b :: rest ->
+      let e = match rest with b2 :: _ -> b2 | [] -> n in
+      (b, e) :: pairs rest
+    | [] -> []
+  in
+  List.iter
+    (fun (b, e) -> if toks.(b).Lexer.text = "let" then parse_item ctx b e)
+    (pairs bounds);
+  ctx.fns <- List.rev ctx.fns;
+  ctx.units <- List.rev ctx.units;
+  ctx
+
+(* ---- cross-module constant / length resolution ----------------------- *)
+
+let rec lookup_const st ctx name depth =
+  if depth > 4 then None
+  else if SL.is_simple name then
+    match Hashtbl.find_opt ctx.consts name with
+    | Some v -> Some v
+    | None -> (
+      match Hashtbl.find_opt ctx.aliases name with
+      | Some d -> lookup_const st ctx d (depth + 1)
+      | None -> None)
+  else
+    let l2 = SL.last2 name in
+    match String.index_opt l2 '.' with
+    | Some j -> (
+      let m = String.sub l2 0 j in
+      let x = String.sub l2 (j + 1) (String.length l2 - j - 1) in
+      match Hashtbl.find_opt st.modmap m with
+      | Some c -> lookup_const st c x (depth + 1)
+      | None -> None)
+    | None -> None
+
+let rec lookup_len st ctx name depth =
+  if depth > 4 then None
+  else if SL.is_simple name then
+    match Hashtbl.find_opt ctx.lens name with
+    | Some v -> Some v
+    | None -> (
+      match Hashtbl.find_opt ctx.aliases name with
+      | Some d -> lookup_len st ctx d (depth + 1)
+      | None -> None)
+  else
+    let l2 = SL.last2 name in
+    match String.index_opt l2 '.' with
+    | Some j -> (
+      let m = String.sub l2 0 j in
+      let x = String.sub l2 (j + 1) (String.length l2 - j - 1) in
+      match Hashtbl.find_opt st.modmap m with
+      | Some c -> lookup_len st c x (depth + 1)
+      | None -> None)
+    | None -> None
+
+(* ---- named lock regions / iteration regions per function ------------ *)
+
+(* (canonical lock name, start token, end token) — [with_lock sched mu
+   (...)], [with_lock sched mu @@ fun ... -> <to end of item>], and
+   explicit [lock sched mu] ... [unlock mu] pairs. *)
+let lock_regions ctx (fn : fn) =
+  let a = ctx.toks and pm = ctx.pm in
+  let regions = ref [] in
+  let open_locks = ref [] in
+  let atom_name at = match at with SL.AName s -> Some s | _ -> None in
+  let i = ref fn.f_body in
+  while !i < fn.f_end do
+    if is_ident_at a !i then begin
+      let name, _, ni = SL.qualified a !i in
+      (match SL.last2 name with
+      | "Mutex.with_lock" ->
+        let _sched, i1 = SL.parse_atom a pm ni in
+        let mu, i2 = SL.parse_atom a pm i1 in
+        let lname =
+          match atom_name mu with Some s -> canon_lock ctx s | None -> "?with_lock"
+        in
+        if i2 < fn.f_end && a.(i2).Lexer.text = "(" then
+          regions := (lname, i2, if pm.(i2) >= 0 then pm.(i2) else fn.f_end - 1) :: !regions
+        else if i2 < fn.f_end && a.(i2).Lexer.text = "@" then
+          regions := (lname, i2, fn.f_end - 1) :: !regions
+      | "Mutex.lock" ->
+        let _sched, i1 = SL.parse_atom a pm ni in
+        let mu, _ = SL.parse_atom a pm i1 in
+        let lname = match atom_name mu with Some s -> canon_lock ctx s | None -> "?lock" in
+        open_locks := (lname, !i) :: !open_locks
+      | "Mutex.unlock" -> (
+        let mu, _ = SL.parse_atom a pm ni in
+        let lname = match atom_name mu with Some s -> canon_lock ctx s | None -> "" in
+        match List.partition (fun (l, _) -> l = lname) !open_locks with
+        | (l, s) :: _, rest ->
+          regions := ((l, s, !i) : string * int * int) :: !regions;
+          open_locks := rest
+        | [], (l, s) :: rest ->
+          regions := (l, s, !i) :: !regions;
+          open_locks := rest
+        | [], [] -> ())
+      | _ -> ());
+      i := ni
+    end
+    else incr i
+  done;
+  List.iter (fun (l, s) -> regions := (l, s, fn.f_end - 1) :: !regions) !open_locks;
+  !regions
+
+(* Iteration regions [(start, end, length source)] for inline-closure
+   iterations; the length is resolved lazily at each [Event.add] so
+   that list bindings made earlier in the same body are visible.
+   [for]/[while] bodies get an unknown length. *)
+type len_src = LUnknown | LLit of int | LName of string
+
+let iter_regions ctx (fn : fn) =
+  let a = ctx.toks and pm = ctx.pm in
+  let regions = ref [] in
+  let loop_stack = ref [] in
+  let i = ref fn.f_body in
+  while !i < fn.f_end do
+    if is_ident_at a !i then begin
+      let name, _, ni = SL.qualified a !i in
+      (if name = "for" || name = "while" then loop_stack := !i :: !loop_stack
+       else if name = "done" then
+         match !loop_stack with
+         | s :: rest ->
+           regions := (s, !i, LUnknown) :: !regions;
+           loop_stack := rest
+         | [] -> ()
+       else if List.mem (SL.last2 name) iter_heads then
+         if ni < fn.f_end && a.(ni).Lexer.text = "(" && pm.(ni) >= 0 then begin
+           let close = pm.(ni) in
+           let len =
+             if close + 1 < fn.f_end && a.(close + 1).Lexer.text = "[" then
+               match list_literal_length a (close + 1) with
+               | Some l -> LLit l
+               | None -> LUnknown
+             else
+               match SL.parse_atom a pm (close + 1) with
+               | SL.AName s, _ -> LName s
+               | _ -> LUnknown
+           in
+           regions := (ni, close, len) :: !regions
+         end);
+      i := ni
+    end
+    else incr i
+  done;
+  !regions
+
+(* ---- the per-function walk ------------------------------------------ *)
+
+let walk st ctx (fn : fn) ~(own : Summary.t option) ~(emit : (Finding.t -> unit) option) =
+  let a = ctx.toks and pm = ctx.pm in
+  let env : (string, vfact) Hashtbl.t = Hashtbl.create 16 in
+  List.iteri (fun i p -> if p <> "_" then Hashtbl.replace env p (VParam i)) fn.f_params;
+  let quorums = ref [] in
+  let lregions = lock_regions ctx fn in
+  let iregions = iter_regions ctx fn in
+  (match own with
+  | Some o ->
+    List.iter (fun (l, _, _) -> if canonical l then Summary.add_acquire o l) lregions
+  | None -> ());
+  let held i = List.filter_map (fun (l, s, e) -> if s <= i && i <= e then Some l else None) lregions in
+  let add_lock_edge src dst line =
+    if canonical src && canonical dst && src <> dst then begin
+      if not (Hashtbl.mem st.edge_locs (src, dst)) then
+        Hashtbl.replace st.edge_locs (src, dst) (ctx.path, line);
+      Callgraph.Digraph.add_edge st.lock_graph ~src ~dst
+        ~witness:(Printf.sprintf "%s:%d" ctx.path line)
+    end
+  in
+  (* intra-function nesting: acquiring B inside A's region orders A -> B *)
+  List.iter
+    (fun (lb, sb, _) ->
+      List.iter
+        (fun (la, sa, ea) -> if sa < sb && sb <= ea then add_lock_edge la lb a.(sb).Lexer.line)
+        lregions)
+    lregions;
+  let set_suspends () = match own with Some o -> o.Summary.suspends <- true | None -> () in
+  let set_field f k =
+    if not (Hashtbl.mem st.fields f) then Hashtbl.replace st.fields f (k, ctx.path)
+  in
+  (* value fact of a name in value position (variable, module value,
+     record-field access) *)
+  let fact_of_name name =
+    if SL.is_simple name then
+      match Hashtbl.find_opt env name with
+      | Some f -> f
+      | None -> (
+        match Hashtbl.find_opt ctx.mvals name with
+        | Some k -> VRemote (k, PLocal)
+        | None -> (
+          match Hashtbl.find_opt ctx.consts name with
+          | Some v -> VInt v
+          | None -> (
+            match Hashtbl.find_opt ctx.lens name with
+            | Some v -> VList v
+            | None -> VNone)))
+    else
+      let first = List.hd (segments name) in
+      if first = "" || not (is_upper first.[0]) then (
+        (* record-field path x.f / x.M.f *)
+        match Hashtbl.find_opt st.fields (last_segment name) with
+        | Some (k, src) -> VRemote (k, PField src)
+        | None -> VNone)
+      else
+        let l2 = SL.last2 name in
+        match String.index_opt l2 '.' with
+        | Some j -> (
+          let m = String.sub l2 0 j in
+          let x = String.sub l2 (j + 1) (String.length l2 - j - 1) in
+          match Hashtbl.find_opt st.modmap m with
+          | Some c -> (
+            match Hashtbl.find_opt c.mvals x with
+            | Some k -> VRemote (k, if c.path = ctx.path then PLocal else PCross c.path)
+            | None -> (
+              match lookup_const st ctx name 0 with
+              | Some v -> VInt v
+              | None -> (
+                match lookup_len st ctx name 0 with Some v -> VList v | None -> VNone)))
+          | None -> VNone)
+        | None -> VNone
+  in
+  (* value fact of an applied (or copied) head *)
+  let head_fact h =
+    let l2 = SL.last2 h in
+    match List.assoc_opt l2 SL.builtin_producers with
+    | Some k -> VRemote (k, PLocal)
+    | None ->
+      (* same policy as the per-file pass: awaiting your own WAL
+         durability is protocol-inherent, so [Disk.write]/[fsync]
+         results are not remote-completion facts — even though the
+         call graph could prove they carry one *)
+      if List.mem l2 SL.local_constructors || l2 = "Disk.write" || l2 = "Disk.fsync" then VNone
+      else (
+        match Callgraph.resolve st.cg ~current_module:ctx.mdl h with
+        | Some callee -> (
+          match callee.Summary.ret with
+          | [ Some k ] ->
+            VRemote (k, if callee.Summary.file = ctx.path then PLocal else PCross callee.Summary.file)
+          | _ -> VNone)
+        | None -> fact_of_name h)
+  in
+  let atom_fact = function
+    | SL.AName s -> fact_of_name s
+    | SL.AParen (Some h) -> head_fact h
+    | SL.AParen None | SL.AOther -> VNone
+  in
+  let emit_finding f = match emit with Some e -> e f | None -> () in
+  let emit_xmod line k p =
+    let severity = match k with SL.Rpc -> Finding.Error | SL.Disk -> Finding.Warning in
+    let where =
+      match p with
+      | PCross file -> Printf.sprintf "produced in %s" file
+      | PField src -> Printf.sprintf "carried by a record field set in %s" src
+      | PLocal -> "produced locally"
+    in
+    emit_finding
+      (Finding.v ~rule:Finding.cross_module_red_wait ~severity
+         ~loc:(Finding.File { file = ctx.path; line })
+         (Printf.sprintf
+            "wait on a bare %s completion %s: no per-file pass can see this; wrap it in \
+             Event.quorum or race it against a timer via Event.or_ at the producer or here"
+            (SL.kind_name k) where))
+  in
+  (* weight of one Event.add at token [i]: product of the lengths of the
+     iteration regions covering it; None when any is unknown *)
+  let add_weight i =
+    List.fold_left
+      (fun acc (s, e, len) ->
+        if s <= i && i <= e then
+          let l =
+            match len with
+            | LLit l -> Some l
+            | LName nm -> ( match fact_of_name nm with VList l -> Some l | _ -> None)
+            | LUnknown -> None
+          in
+          match (acc, l) with Some w, Some l -> Some (w * l) | _ -> None
+        else acc)
+      (Some 1) iregions
+  in
+  (* parse an [Event.quorum (Event.Count k)] argument following the head *)
+  let quorum_cell line ni =
+    let count =
+      if ni < fn.f_end && a.(ni).Lexer.text = "(" && pm.(ni) >= 0 then begin
+        let close = pm.(ni) in
+        let c = ref None in
+        let j = ref (ni + 1) in
+        while !c = None && !j < close do
+          if a.(!j).Lexer.text = "Count" && !j + 1 < close then begin
+            let k = ref (!j + 1) in
+            while !k < close && a.(!k).Lexer.text = "(" do
+              incr k
+            done;
+            (if !k < close then
+               let t = a.(!k).Lexer.text in
+               if Lexer.is_ident t then begin
+                 let cn, _, _ = SL.qualified a !k in
+                 match fact_of_name cn with
+                 | VInt v -> c := Some v
+                 | _ -> c := Some (-1) (* Count of something unresolvable: give up *)
+               end
+               else match int_of_token t with Some v -> c := Some v | None -> c := Some (-1));
+            j := close
+          end
+          else incr j
+        done;
+        match !c with Some v when v >= 0 -> Some v | _ -> None
+      end
+      else None
+    in
+    let qc = { q_line = line; q_count = count; q_adds = 0; q_unknown = false } in
+    quorums := qc :: !quorums;
+    qc
+  in
+  let mark_escaped at =
+    match at with
+    | SL.AName s when SL.is_simple s -> (
+      match Hashtbl.find_opt env s with
+      | Some (VQuorum qc) -> qc.q_unknown <- true
+      | _ -> ())
+    | _ -> ()
+  in
+  (* a resolvable call: propagate suspension/lock facts, check held
+     locks, thread arguments into the callee's waited parameters *)
+  let handle_call (callee : Summary.t) line i ni =
+    let held_here = held i in
+    (match own with
+    | Some o ->
+      if callee.Summary.suspends then o.Summary.suspends <- true;
+      List.iter (fun l -> Summary.add_acquire o l) callee.Summary.acquires
+    | None -> ());
+    List.iter
+      (fun h ->
+        List.iter (fun acq -> add_lock_edge h acq line) callee.Summary.acquires;
+        if callee.Summary.suspends then
+          emit_finding
+            (Finding.v ~rule:Finding.lock_across_call ~severity:Finding.Error
+               ~loc:(Finding.File { file = ctx.path; line })
+               (Printf.sprintf
+                  "call to %s while holding %s: the callee (transitively) suspends on an \
+                   event, so one slow firer blocks every contender on the lock (the \
+                   RethinkDB hazard, paper §2, across a call boundary)"
+                  callee.Summary.qname
+                  (String.concat ", "
+                     (List.map (fun l -> if canonical l then l else "a mutex") held_here)))))
+      held_here;
+    (* positional arguments, labels skipped; stop at the first non-atom *)
+    let j = ref ni in
+    let pos = ref 0 in
+    let stop = ref false in
+    while (not !stop) && !j < fn.f_end && !pos < 8 do
+      let t = a.(!j).Lexer.text in
+      if t = "~" || t = "?" then begin
+        j := !j + 2;
+        if !j < fn.f_end && a.(!j).Lexer.text = ":" then begin
+          let at, j' = SL.parse_atom a pm (!j + 1) in
+          mark_escaped at;
+          j := j'
+        end
+      end
+      else begin
+        let at, j' = SL.parse_atom a pm !j in
+        match at with
+        | SL.AOther -> stop := true
+        | _ ->
+          mark_escaped at;
+          if List.mem !pos callee.Summary.wait_params then begin
+            match atom_fact at with
+            | VRemote (k, _) when callee.Summary.file <> ctx.path ->
+              let severity = match k with SL.Rpc -> Finding.Error | SL.Disk -> Finding.Warning in
+              emit_finding
+                (Finding.v ~rule:Finding.cross_module_red_wait ~severity
+                   ~loc:(Finding.File { file = ctx.path; line })
+                   (Printf.sprintf
+                      "bare %s completion passed to %s, which waits on its argument: a \
+                       cross-module red wait split between caller and callee"
+                      (SL.kind_name k) callee.Summary.qname))
+            | VParam idx -> (
+              match own with Some o -> Summary.add_wait_param o idx | None -> ())
+            | _ -> ()
+          end;
+          incr pos;
+          j := j'
+      end
+    done
+  in
+  let handle_binding pat rhs line eq =
+    let bind1 name f =
+      Hashtbl.remove env name;
+      match f with VNone -> () | f -> Hashtbl.replace env name f
+    in
+    match (pat, rhs) with
+    | SL.PVar name, SL.RHead (Some h) ->
+      if SL.last2 h = "Event.quorum" then begin
+        (* the head token follows the [=]; find it to parse the arity *)
+        let k = ref (eq + 1) in
+        while !k < fn.f_end && a.(!k).Lexer.text = "(" do
+          incr k
+        done;
+        if is_ident_at a !k then begin
+          let _, _, hend = SL.qualified a !k in
+          bind1 name (VQuorum (quorum_cell line hend))
+        end
+      end
+      else if
+        (* local list literals feed iteration lengths *)
+        eq + 1 < fn.f_end && a.(eq + 1).Lexer.text = "["
+      then
+        match list_literal_length a (eq + 1) with
+        | Some l -> bind1 name (VList l)
+        | None -> bind1 name VNone
+      else bind1 name (head_fact h)
+    | SL.PVar name, SL.RHead None ->
+      if eq + 1 < fn.f_end && a.(eq + 1).Lexer.text = "[" then (
+        match list_literal_length a (eq + 1) with
+        | Some l -> bind1 name (VList l)
+        | None -> bind1 name VNone)
+      else (
+        match int_of_token a.(eq + 1).Lexer.text with
+        | Some v when eq + 1 < fn.f_end -> bind1 name (VInt v)
+        | _ -> bind1 name VNone)
+    | SL.PVar name, SL.RTuple _ -> bind1 name VNone
+    | SL.PTuple names, SL.RTuple comps ->
+      List.iteri
+        (fun i name ->
+          match List.nth_opt comps i with
+          | Some (Some h) -> bind1 name (head_fact h)
+          | _ -> bind1 name VNone)
+        names
+    | SL.PTuple names, SL.RHead (Some h) ->
+      let comps =
+        match Callgraph.resolve st.cg ~current_module:ctx.mdl h with
+        | Some callee ->
+          List.map
+            (fun c ->
+              match c with
+              | Some k ->
+                VRemote
+                  (k, if callee.Summary.file = ctx.path then PLocal else PCross callee.Summary.file)
+              | None -> VNone)
+            callee.Summary.ret
+        | None -> []
+      in
+      List.iteri
+        (fun i name ->
+          match List.nth_opt comps i with Some f -> bind1 name f | None -> bind1 name VNone)
+        names
+    | SL.PTuple names, SL.RHead None -> List.iter (fun n -> bind1 n VNone) names
+  in
+  (* record literal at token [i]: each [field = <head>] with a remote
+     head registers a field fact *)
+  let handle_record i =
+    let depth = ref 0 in
+    let j = ref i in
+    let expect_field = ref true in
+    let fin = ref false in
+    while (not !fin) && !j < fn.f_end do
+      let t = a.(!j).Lexer.text in
+      (match t with
+      | "{" | "(" | "[" ->
+        incr depth;
+        if t = "{" && !j > i then expect_field := false
+      | "}" | ")" | "]" ->
+        decr depth;
+        if !depth = 0 then fin := true
+      | ";" when !depth = 1 -> expect_field := true
+      | "=" when !depth = 1 ->
+        (* token before [=] is the field, head after it is the value *)
+        if !expect_field && !j > i + 1 && Lexer.is_ident a.(!j - 1).Lexer.text then begin
+          let field = a.(!j - 1).Lexer.text in
+          let k = ref (!j + 1) in
+          while !k < fn.f_end && a.(!k).Lexer.text = "(" do
+            incr k
+          done;
+          if is_ident_at a !k then begin
+            let h, _, _ = SL.qualified a !k in
+            match head_fact h with
+            | VRemote (kk, _) -> set_field field kk
+            | _ -> ()
+          end
+        end;
+        expect_field := false
+      | _ -> ());
+      incr j
+    done
+  in
+  (* ---- linear scan in program order ---- *)
+  let i = ref fn.f_body in
+  while !i < fn.f_end do
+    (match SL.binding_at a pm !i with
+    | Some (pat, rhs, eq) -> handle_binding pat rhs a.(!i).Lexer.line eq
+    | None -> ());
+    if is_ident_at a !i then begin
+      let name, line, ni = SL.qualified a !i in
+      (match SL.last2 name with
+      | "Sched.wait" | "Sched.wait_timeout" ->
+        set_suspends ();
+        let _sched, i1 = SL.parse_atom a pm ni in
+        let ev, _ = SL.parse_atom a pm i1 in
+        (match ev with
+        | SL.AName s -> (
+          match fact_of_name s with
+          | VRemote (k, ((PCross _ | PField _) as p)) -> emit_xmod line k p
+          | VParam idx -> ( match own with Some o -> Summary.add_wait_param o idx | None -> ())
+          | _ -> ())
+        | SL.AParen (Some h) -> (
+          match head_fact h with
+          | VRemote (k, ((PCross _ | PField _) as p)) -> emit_xmod line k p
+          | _ -> ())
+        | _ -> ())
+      | "Condvar.wait" | "Condvar.wait_timeout" -> set_suspends ()
+      | "Event.add" -> (
+        let parent, _ = SL.parse_atom a pm ni in
+        match parent with
+        | SL.AName p when SL.is_simple p -> (
+          match Hashtbl.find_opt env p with
+          | Some (VQuorum qc) -> (
+            match add_weight !i with
+            | Some w -> qc.q_adds <- qc.q_adds + w
+            | None -> qc.q_unknown <- true)
+          | _ -> ())
+        | _ -> ())
+      | "Mutex.lock" | "Mutex.unlock" | "Mutex.with_lock" -> ()
+      | _ -> (
+        match Callgraph.resolve st.cg ~current_module:ctx.mdl name with
+        | Some callee -> handle_call callee line !i ni
+        | None -> ()));
+      (* field assignment [x.f <- <head>] *)
+      (if (not (SL.is_simple name)) && ni + 1 < fn.f_end && a.(ni).Lexer.text = "<"
+          && a.(ni + 1).Lexer.text = "-" then begin
+         let k = ref (ni + 2) in
+         while !k < fn.f_end && a.(!k).Lexer.text = "(" do
+           incr k
+         done;
+         if is_ident_at a !k then begin
+           let h, _, _ = SL.qualified a !k in
+           match head_fact h with
+           | VRemote (kk, _) -> set_field (last_segment name) kk
+           | _ -> ()
+         end
+       end);
+      i := ni
+    end
+    else begin
+      if a.(!i).Lexer.text = "{" then handle_record !i;
+      incr i
+    end
+  done;
+  (* return shape: the last line of the body (or everything after the
+     [=] for one-liners) — lone known variable, literal tuple, or an
+     application of a producer *)
+  (match own with
+  | Some o ->
+    let e = fn.f_end in
+    let last_line = a.(e - 1).Lexer.line in
+    let lo = ref (e - 1) in
+    while !lo > fn.f_body && a.(!lo - 1).Lexer.line = last_line do
+      decr lo
+    done;
+    let start = if !lo <= fn.f_body then fn.f_body else !lo in
+    let ret =
+      if start >= e then []
+      else if start = e - 1 && is_ident_at a start && SL.is_simple a.(start).Lexer.text then (
+        match Hashtbl.find_opt env a.(start).Lexer.text with
+        | Some (VRemote (k, _)) -> [ Some k ]
+        | Some (VQuorum qc) ->
+          qc.q_unknown <- true;
+          []
+        | _ -> [])
+      else if a.(start).Lexer.text = "(" && pm.(start) = e - 1 then (
+        match SL.tuple_components a pm start with
+        | Some comps ->
+          let facts =
+            List.map
+              (fun h ->
+                match h with
+                | Some h -> (
+                  match head_fact h with VRemote (k, _) -> Some k | _ -> None)
+                | None -> None)
+              comps
+          in
+          if List.exists Option.is_some facts then facts else []
+        | None -> [])
+      else begin
+        let k = ref start in
+        while !k < e && not (is_ident_at a !k) do
+          incr k
+        done;
+        if !k < e then (
+          let h, _, _ = SL.qualified a !k in
+          match head_fact h with VRemote (kk, _) -> [ Some kk ] | _ -> [])
+        else []
+      end
+    in
+    if ret <> [] then o.Summary.ret <- ret
+  | None -> ());
+  (* quorum arity verdicts *)
+  List.iter
+    (fun qc ->
+      match qc.q_count with
+      | Some k when (not qc.q_unknown) && qc.q_adds > 0 && k > qc.q_adds ->
+        emit_finding
+          (Finding.v ~rule:Finding.quorum_arity_mismatch ~severity:Finding.Error
+             ~loc:(Finding.File { file = ctx.path; line = qc.q_line })
+             (Printf.sprintf
+                "quorum requires Count %d but only %d child event(s) statically flow into \
+                 it: it can never fire (constants resolved across modules)"
+                k qc.q_adds))
+      | _ -> ())
+    !quorums
+
+(* ---- the whole-project pass ----------------------------------------- *)
+
+let analyze_sources sources =
+  let ctxs = List.map build_fctx sources in
+  let st =
+    {
+      cg = Callgraph.create ();
+      modmap = Hashtbl.create 64;
+      fields = Hashtbl.create 32;
+      edge_locs = Hashtbl.create 16;
+      lock_graph = Callgraph.Digraph.create ();
+    }
+  in
+  List.iter
+    (fun ctx -> if not (Hashtbl.mem st.modmap ctx.mdl) then Hashtbl.add st.modmap ctx.mdl ctx)
+    ctxs;
+  let summaries =
+    List.concat_map
+      (fun ctx ->
+        List.map
+          (fun (fn : fn) ->
+            let s =
+              Summary.create ~qname:fn.f_qname ~file:ctx.path ~line:fn.f_line
+                ~params:fn.f_params
+            in
+            Callgraph.define st.cg s;
+            (ctx, fn, s))
+          ctx.fns)
+      ctxs
+  in
+  (* fixpoint: summaries and field facts feed each other across files *)
+  let changed = ref true in
+  let rounds = ref 0 in
+  while !changed && !rounds < 10 do
+    incr rounds;
+    let before =
+      List.map (fun (_, _, s) -> Summary.fingerprint s) summaries, Hashtbl.length st.fields
+    in
+    List.iter (fun (ctx, fn, s) -> walk st ctx fn ~own:(Some s) ~emit:None) summaries;
+    List.iter
+      (fun ctx -> List.iter (fun u -> walk st ctx u ~own:None ~emit:None) ctx.units)
+      ctxs;
+    let after =
+      List.map (fun (_, _, s) -> Summary.fingerprint s) summaries, Hashtbl.length st.fields
+    in
+    changed := before <> after
+  done;
+  (* reporting round: rebuild the lock graph from scratch so every edge
+     reflects fixpoint facts, then emit findings *)
+  Hashtbl.reset st.edge_locs;
+  let st = { st with lock_graph = Callgraph.Digraph.create () } in
+  let findings = ref [] in
+  let emit f = findings := f :: !findings in
+  List.iter (fun (ctx, fn, s) -> walk st ctx fn ~own:(Some s) ~emit:(Some emit)) summaries;
+  List.iter
+    (fun ctx -> List.iter (fun u -> walk st ctx u ~own:None ~emit:(Some emit)) ctx.units)
+    ctxs;
+  (* lock-order cycles *)
+  List.iter
+    (fun (path, edges) ->
+      match edges with
+      | [] -> ()
+      | first :: _ ->
+        let loc =
+          match Hashtbl.find_opt st.edge_locs (first.Callgraph.Digraph.src, first.Callgraph.Digraph.dst) with
+          | Some (file, line) -> Finding.File { file; line }
+          | None -> Finding.File { file = "<unknown>"; line = 0 }
+        in
+        let sites =
+          String.concat "; "
+            (List.map
+               (fun (e : Callgraph.Digraph.edge) ->
+                 Printf.sprintf "%s -> %s at %s" e.Callgraph.Digraph.src e.Callgraph.Digraph.dst
+                   e.Callgraph.Digraph.witness)
+               edges)
+        in
+        emit
+          (Finding.v ~rule:Finding.lock_order_cycle ~severity:Finding.Error ~loc
+             (Printf.sprintf
+                "mutex acquisition-order cycle %s: two coroutines taking opposite ends \
+                 deadlock outright — and under fail-slow faults even the non-deadlocked \
+                 interleavings convoy (acquisition sites: %s)"
+                (String.concat " -> " path) sites)))
+    (Callgraph.Digraph.cycles st.lock_graph);
+  (* pragma exemptions, per finding file *)
+  let pragmas_of =
+    let tbl = Hashtbl.create 16 in
+    List.iter (fun ctx -> Hashtbl.replace tbl ctx.path ctx.pragmas) ctxs;
+    fun path -> try Hashtbl.find tbl path with Not_found -> []
+  in
+  let allowed_at path rule line =
+    List.exists
+      (fun (p : Lexer.pragma) ->
+        p.Lexer.p_line <= line && p.Lexer.p_line >= line - 3 && List.mem rule p.Lexer.p_rules)
+      (pragmas_of path)
+  in
+  !findings
+  |> List.map (fun (f : Finding.t) ->
+         match f.Finding.loc with
+         | Finding.File { file; line } when allowed_at file f.Finding.rule line ->
+           { f with Finding.allowed = true }
+         | _ -> f)
+  |> List.sort_uniq (fun a b ->
+         let c = Finding.by_location a b in
+         if c <> 0 then c else compare a b)
+
+let read_file path =
+  let ic = open_in_bin path in
+  let len = in_channel_length ic in
+  let src = really_input_string ic len in
+  close_in ic;
+  src
+
+let analyze_files paths = analyze_sources (List.map (fun p -> (p, read_file p)) paths)

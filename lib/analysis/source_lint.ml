@@ -115,40 +115,132 @@ let next_boundary bounds i =
 
 type env = {
   remote : (string, kind) Hashtbl.t;  (* vars bound to a bare remote completion *)
-  producers : (string, kind) Hashtbl.t;  (* local fns returning one *)
+  producers : (string, kind option list) Hashtbl.t;
+      (* local fns returning one: a 1-element list for a scalar return,
+         one slot per component for a tuple return *)
 }
 
-let resolve_head env h =
+let scalar = function [ Some k ] -> Some k | _ -> None
+
+(* Component facts of a right-hand-side head: builtin producers are
+   scalar by definition; local names resolve through either table. *)
+let components_of_head env h =
   if is_simple h then
     match Hashtbl.find_opt env.producers h with
-    | Some k -> Some k
-    | None -> Hashtbl.find_opt env.remote h
-  else List.assoc_opt (last2 h) builtin_producers
+    | Some l -> Some l
+    | None -> (
+      match Hashtbl.find_opt env.remote h with Some k -> Some [ Some k ] | None -> None)
+  else
+    match List.assoc_opt (last2 h) builtin_producers with
+    | Some k -> Some [ Some k ]
+    | None -> None
 
-(* A binding [let x = <head> ...] at token [i]; returns the bound name,
-   the head of the right-hand side (skipping parens) and the index of
-   the [=] token, when the pattern is a plain variable. *)
-let binding_at (a : Lexer.token array) i =
+let resolve_head env h = Option.bind (components_of_head env h) (fun l -> scalar l)
+
+(* Split the parenthesised region (s, pm.(s)) at depth-0 commas and
+   return the head name of each component — the shape of a literal
+   tuple expression. [None] if there is no depth-0 comma. *)
+let tuple_components (a : Lexer.token array) pm s =
+  if s >= Array.length a || a.(s).Lexer.text <> "(" || pm.(s) < 0 then None
+  else begin
+    let close = pm.(s) in
+    let depth = ref 0 in
+    let comps = ref [] in
+    let head = ref None in
+    let ncommas = ref 0 in
+    let i = ref (s + 1) in
+    while !i < close do
+      let t = a.(!i).Lexer.text in
+      (match t with
+      | "(" | "[" | "{" -> incr depth
+      | ")" | "]" | "}" -> decr depth
+      | "," when !depth = 0 ->
+        incr ncommas;
+        comps := !head :: !comps;
+        head := None
+      | _ ->
+        if !head = None && Lexer.is_ident t then begin
+          let name, _, _ = qualified a !i in
+          head := Some name
+        end);
+      incr i
+    done;
+    if !ncommas = 0 then None
+    else begin
+      comps := !head :: !comps;
+      Some (List.rev !comps)
+    end
+  end
+
+type pattern = PVar of string | PTuple of string list
+type rhs = RHead of string option | RTuple of string option list
+
+(* A binding [let <pat> = <rhs>] at token [i], where <pat> is a plain
+   variable or a flat tuple of simple names (optionally parenthesised):
+   returns the pattern, the right-hand-side shape (a head name, or per-
+   component heads for a literal tuple) and the index of the [=]. *)
+let binding_at (a : Lexer.token array) pm i =
   let n = Array.length a in
   if a.(i).Lexer.text <> "let" then None
   else
     let j = if i + 1 < n && a.(i + 1).Lexer.text = "rec" then i + 2 else i + 1 in
-    if j + 1 < n && Lexer.is_ident a.(j).Lexer.text && a.(j + 1).Lexer.text = "=" then begin
-      let k = ref (j + 2) in
-      while !k < n && a.(!k).Lexer.text = "(" do
-        incr k
-      done;
-      let head =
-        if !k < n && Lexer.is_ident a.(!k).Lexer.text then
-          let name, _, _ = qualified a !k in
-          Some name
+    (* a comma-separated run of simple names over [j0, close) *)
+    let names_upto j0 close =
+      let rec go acc k expect_name =
+        if k = close then if expect_name then None else Some (List.rev acc)
+        else if expect_name then
+          if Lexer.is_ident a.(k).Lexer.text then go (a.(k).Lexer.text :: acc) (k + 1) false
+          else None
+        else if a.(k).Lexer.text = "," then go acc (k + 1) true
         else None
       in
-      Some (a.(j).Lexer.text, head, j + 1)
-    end
-    else None
+      go [] j0 true
+    in
+    let pat =
+      if j >= n then None
+      else if a.(j).Lexer.text = "(" && pm.(j) >= 0 && pm.(j) + 1 < n
+              && a.(pm.(j) + 1).Lexer.text = "=" then
+        match names_upto (j + 1) pm.(j) with
+        | Some [ x ] -> Some (PVar x, pm.(j) + 1)
+        | Some (_ :: _ :: _ as xs) -> Some (PTuple xs, pm.(j) + 1)
+        | _ -> None
+      else if Lexer.is_ident a.(j).Lexer.text then
+        if j + 1 < n && a.(j + 1).Lexer.text = "=" then Some (PVar a.(j).Lexer.text, j + 1)
+        else if j + 1 < n && a.(j + 1).Lexer.text = "," then begin
+          (* scan forward for the [=] closing the pattern *)
+          let k = ref (j + 1) in
+          while !k < n && (a.(!k).Lexer.text = "," || Lexer.is_ident a.(!k).Lexer.text) do
+            incr k
+          done;
+          if !k < n && a.(!k).Lexer.text = "=" then
+            match names_upto j !k with
+            | Some (_ :: _ :: _ as xs) -> Some (PTuple xs, !k)
+            | _ -> None
+          else None
+        end
+        else None
+      else None
+    in
+    match pat with
+    | None -> None
+    | Some (pat, eq) ->
+      let rhs =
+        match tuple_components a pm (eq + 1) with
+        | Some comps -> RTuple comps
+        | None ->
+          let k = ref (eq + 1) in
+          while !k < n && a.(!k).Lexer.text = "(" do
+            incr k
+          done;
+          RHead
+            (if !k < n && Lexer.is_ident a.(!k).Lexer.text then
+               let name, _, _ = qualified a !k in
+               Some name
+             else None)
+      in
+      Some (pat, rhs, eq)
 
-let record_binding env ~and_line name head line =
+let record_binding1 env ~and_line name head line =
   Hashtbl.remove env.remote name;
   Hashtbl.remove and_line name;
   match head with
@@ -158,16 +250,58 @@ let record_binding env ~and_line name head line =
     match List.assoc_opt l2 builtin_producers with
     | Some k -> Hashtbl.replace env.remote name k
     | None ->
-      if is_simple h && Hashtbl.mem env.producers h then
-        Hashtbl.replace env.remote name (Hashtbl.find env.producers h)
+      if is_simple h then (
+        match Hashtbl.find_opt env.producers h with
+        | Some l -> ( match scalar l with Some k -> Hashtbl.replace env.remote name k | None -> ())
+        | None -> ())
       else if l2 = "Event.and_" then Hashtbl.replace and_line name line
       else if List.mem l2 local_constructors then ())
 
+(* Assign facts under a binding: positional for tuple patterns, whether
+   the right-hand side is a literal tuple or a call to a local function
+   whose tuple return shape was learnt. *)
+let record_binding env ~and_line pat rhs line =
+  let comp_fact head = Option.bind head (fun h -> resolve_head env h) in
+  match (pat, rhs) with
+  | PVar name, RHead head -> record_binding1 env ~and_line name head line
+  | PVar name, RTuple _ ->
+    (* a literal tuple is not itself an event *)
+    Hashtbl.remove env.remote name;
+    Hashtbl.remove and_line name
+  | PTuple names, RTuple comps ->
+    List.iteri
+      (fun i name ->
+        Hashtbl.remove env.remote name;
+        Hashtbl.remove and_line name;
+        match List.nth_opt comps i with
+        | Some head -> (
+          match comp_fact head with
+          | Some k -> Hashtbl.replace env.remote name k
+          | None -> ())
+        | None -> ())
+      names
+  | PTuple names, RHead head ->
+    let comps =
+      match head with
+      | Some h when is_simple h -> (
+        match Hashtbl.find_opt env.producers h with Some l -> l | None -> [])
+      | _ -> []
+    in
+    List.iteri
+      (fun i name ->
+        Hashtbl.remove env.remote name;
+        Hashtbl.remove and_line name;
+        match List.nth_opt comps i with
+        | Some (Some k) -> Hashtbl.replace env.remote name k
+        | _ -> ())
+      names
+
 (* Learn which top-level functions return a remote completion: the
-   binding's last line is either a lone variable known to be remote, or
-   an application of a producer. Iterated with the binding pass so
-   producer facts and variable facts can feed each other. *)
-let learn_producers (a : Lexer.token array) bounds env =
+   binding's last line is either a lone variable known to be remote, an
+   application of a producer, or a literal tuple whose components are
+   learnt positionally. Iterated with the binding pass so producer
+   facts and variable facts can feed each other. *)
+let learn_producers (a : Lexer.token array) pm bounds env =
   let n = Array.length a in
   let rec pairs = function
     | b :: rest ->
@@ -201,20 +335,31 @@ let learn_producers (a : Lexer.token array) bounds env =
             let learned =
               if start = e - 1 && Lexer.is_ident a.(start).Lexer.text
                  && is_simple a.(start).Lexer.text then
-                Hashtbl.find_opt env.remote a.(start).Lexer.text
-              else begin
-                let k = ref start in
-                while !k < e && not (Lexer.is_ident a.(!k).Lexer.text) do
-                  incr k
-                done;
-                if !k < e then
-                  let h, _, _ = qualified a !k in
-                  resolve_head env h
-                else None
-              end
+                match Hashtbl.find_opt env.remote a.(start).Lexer.text with
+                | Some k -> Some [ Some k ]
+                | None -> None
+              else
+                match
+                  if a.(start).Lexer.text = "(" && pm.(start) = e - 1 then
+                    tuple_components a pm start
+                  else None
+                with
+                | Some comps ->
+                  let facts = List.map (fun h -> Option.bind h (resolve_head env)) comps in
+                  if List.exists Option.is_some facts then Some facts else None
+                | None -> begin
+                  let k = ref start in
+                  while !k < e && not (Lexer.is_ident a.(!k).Lexer.text) do
+                    incr k
+                  done;
+                  if !k < e then
+                    let h, _, _ = qualified a !k in
+                    components_of_head env h
+                  else None
+                end
             in
             match learned with
-            | Some k -> Hashtbl.replace env.producers fname k
+            | Some l -> Hashtbl.replace env.producers fname l
             | None -> ()
           end
         end
@@ -305,11 +450,11 @@ let lint_string ?(path = "<string>") src =
     for _ = 1 to 2 do
       Array.iteri
         (fun i _ ->
-          match binding_at a i with
-          | Some (name, head, _) -> record_binding env ~and_line name head a.(i).Lexer.line
+          match binding_at a pm i with
+          | Some (pat, rhs, _) -> record_binding env ~and_line pat rhs a.(i).Lexer.line
           | None -> ())
         a;
-      learn_producers a bounds env
+      learn_producers a pm bounds env
     done;
     Hashtbl.reset env.remote;
     Hashtbl.reset and_line;
@@ -331,8 +476,8 @@ let lint_string ?(path = "<string>") src =
     (* linear scan in program order so variable shadowing is respected *)
     let i = ref 0 in
     while !i < n do
-      (match binding_at a !i with
-      | Some (name, head, _) -> record_binding env ~and_line name head a.(!i).Lexer.line
+      (match binding_at a pm !i with
+      | Some (pat, rhs, _) -> record_binding env ~and_line pat rhs a.(!i).Lexer.line
       | None -> ());
       if Lexer.is_ident a.(!i).Lexer.text then begin
         let name, line, ni = qualified a !i in

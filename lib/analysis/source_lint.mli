@@ -19,15 +19,73 @@
     Findings at a line L are exempted by a pragma comment
     [(* depfast-lint: allow rule-id ... *)] starting on lines L-3..L.
 
-    Known blind spots, accepted for a per-file lint: bindings through
-    tuple patterns, events returned across module boundaries (other
-    than the built-in [Cluster.Rpc.event]/[Cluster.Disk.read]
-    producers), and waits on record fields. [Disk.write]/[fsync] are
-    deliberately {e not} treated as remote producers: awaiting one's
-    own WAL durability is protocol-inherent, while a blocking
-    [Disk.read] on the request path is the TiDB anti-pattern (§2). *)
+    Remote completions are tracked through plain and flat-tuple [let]
+    bindings ([let ev, meta = begin_call peer in ...]) and through
+    local functions returning them, scalar or tuple-shaped. Remaining
+    blind spots, accepted for a {e per-file} pass: events crossing
+    module boundaries (other than the built-in
+    [Cluster.Rpc.event]/[Cluster.Disk.read] producers), record fields,
+    and lock/suspension facts hidden behind calls — all of which
+    {!Interproc} closes with whole-project summaries.
+    [Disk.write]/[fsync] are deliberately {e not} treated as remote
+    producers: awaiting one's own WAL durability is protocol-inherent,
+    while a blocking [Disk.read] on the request path is the TiDB
+    anti-pattern (§2). *)
 
 val lint_string : ?path:string -> string -> Finding.t list
 (** Lint source text; [path] names the file in locations. *)
 
 val lint_file : string -> Finding.t list
+
+(** {2 Token-stream toolkit}
+
+    Shared with the interprocedural pass ({!Interproc}); stable only
+    within this library. *)
+
+type kind = Rpc | Disk
+
+val kind_name : kind -> string
+
+val builtin_producers : (string * kind) list
+(** Qualified names (matched on their last two segments) constructing a
+    bare remote-completion event. *)
+
+val local_constructors : string list
+(** Heads constructing a local or compound event — binding one cancels
+    any remote-completion fact. *)
+
+val last2 : string -> string
+(** The last two dot-segments of a qualified name. *)
+
+val is_simple : string -> bool
+(** True when the name has no dot. *)
+
+type atom = AName of string | AParen of string option | AOther
+
+val qualified : Lexer.token array -> int -> string * int * int
+(** [qualified a i] reads the dotted name starting at token [i]:
+    (name, line, index past it). *)
+
+val parse_atom : Lexer.token array -> int array -> int -> atom * int
+(** Consume one argument-shaped expression: a dotted name, or a
+    parenthesised expression reduced to its first inner head. *)
+
+val paren_matches : Lexer.token array -> int array
+(** [pm.(i)] is the index of the [')'] matching an ['('] at [i], or -1. *)
+
+val boundaries : Lexer.token array -> int list
+(** Indices of column-0 structure keywords ([let], [module], ...) —
+    top-level item boundaries. *)
+
+val tuple_components : Lexer.token array -> int array -> int -> string option list option
+(** Head names of the components of a literal tuple [(e1, e2, ...)]
+    starting at the given ['('] token; [None] if it is not one. *)
+
+type pattern = PVar of string | PTuple of string list
+type rhs = RHead of string option | RTuple of string option list
+
+val binding_at : Lexer.token array -> int array -> int -> (pattern * rhs * int) option
+(** A binding [let <pat> = <rhs>] at token [i], where the pattern is a
+    plain variable or a flat tuple of simple names: the pattern, the
+    right-hand-side shape and the index of the [=]. Function definitions
+    (parameters before the [=]) return [None]. *)

@@ -1,0 +1,40 @@
+type ret = Source_lint.kind option list
+
+type t = {
+  qname : string;
+  file : string;
+  line : int;
+  params : string list;
+  mutable ret : ret;
+  mutable suspends : bool;
+  mutable wait_params : int list;
+  mutable acquires : string list;
+}
+
+let create ~qname ~file ~line ~params =
+  { qname; file; line; params; ret = []; suspends = false; wait_params = []; acquires = [] }
+
+let add_wait_param t i =
+  if not (List.mem i t.wait_params) then t.wait_params <- List.sort compare (i :: t.wait_params)
+
+let add_acquire t l =
+  if not (List.mem l t.acquires) then t.acquires <- List.sort compare (l :: t.acquires)
+
+(* Fingerprint of the mutable facts, for fixpoint change detection. *)
+let fingerprint t = (t.ret, t.suspends, t.wait_params, t.acquires)
+
+let ret_string r =
+  let comp = function
+    | Some k -> Source_lint.kind_name k
+    | None -> "-"
+  in
+  match r with
+  | [] -> "?"
+  | [ c ] -> comp c
+  | cs -> "(" ^ String.concat ", " (List.map comp cs) ^ ")"
+
+let to_string t =
+  Printf.sprintf "%s (%s:%d): ret=%s suspends=%b wait_params=[%s] acquires=[%s]" t.qname
+    t.file t.line (ret_string t.ret) t.suspends
+    (String.concat ";" (List.map string_of_int t.wait_params))
+    (String.concat ";" t.acquires)

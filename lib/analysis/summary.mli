@@ -1,0 +1,37 @@
+(** Per-function summaries for the interprocedural pass ({!Interproc}).
+
+    A summary holds the facts that flow across call boundaries, refined
+    to a fixpoint over the whole project:
+
+    - [ret]: whether the function returns a bare remote-completion
+      event, componentwise — a 1-element list for a scalar return, one
+      slot per component for a tuple return, [[]] when unknown/none;
+    - [suspends]: the function (transitively) suspends on an event
+      ([Sched.wait]/[wait_timeout], [Condvar.wait]/[wait_timeout]) —
+      bounded local pauses ([sleep], [yield]) deliberately excluded;
+    - [wait_params]: positional parameters that (transitively) reach a
+      wait inside the function;
+    - [acquires]: canonical mutex names the function may acquire,
+      including through its callees. *)
+
+type ret = Source_lint.kind option list
+
+type t = {
+  qname : string;  (** [Module.fn], module from the file basename *)
+  file : string;
+  line : int;
+  params : string list;  (** positional parameter names, in order *)
+  mutable ret : ret;
+  mutable suspends : bool;
+  mutable wait_params : int list;  (** sorted positions *)
+  mutable acquires : string list;  (** sorted canonical lock names *)
+}
+
+val create : qname:string -> file:string -> line:int -> params:string list -> t
+val add_wait_param : t -> int -> unit
+val add_acquire : t -> string -> unit
+
+val fingerprint : t -> ret * bool * int list * string list
+(** Snapshot of the mutable facts, for fixpoint change detection. *)
+
+val to_string : t -> string

@@ -66,6 +66,8 @@ let handle_append t b ~entries ~commit =
   Depfast.Mutex.with_lock b.Common.sched b.Common.append_mu (fun () ->
       let cfg = b.Common.cfg in
       let n = Array.length entries in
+      (* depfast-lint: allow lock-across-call — deliberate baseline defect:
+         per-entry CPU work runs inside the append lock *)
       Cluster.Node.cpu_work b.Common.node
         (cfg.Raft.Config.cost_follower_fixed + (n * cfg.Raft.Config.cost_follower_entry));
       Common.follower_append_a b entries;
@@ -75,6 +77,9 @@ let handle_append t b ~entries ~commit =
         Depfast.Sched.wait b.Common.sched
           (Common.wal_append b ~bytes:(Common.wal_bytes_a b entries));
       Common.set_commit b commit;
+      (* depfast-lint: allow lock-across-call — deliberate baseline defect:
+         the chain forwards downstream (CPU + rpc) without releasing the
+         append lock, so one slow successor stalls the whole segment *)
       forward t b entries;
       if Cluster.Node.id b.Common.node = tail_id t && n > 0 then
         ignore

@@ -42,6 +42,8 @@ let handle_append_entries b ~prev_index ~entries ~commit =
   (* the replication stream is processed serially, in delivery order *)
   Depfast.Mutex.with_lock b.Common.sched b.Common.append_mu (fun () ->
       let cfg = b.Common.cfg in
+      (* depfast-lint: allow lock-across-call — deliberate baseline defect:
+         per-entry CPU work runs inside the append lock *)
       Cluster.Node.cpu_work b.Common.node
         (cfg.Raft.Config.cost_follower_fixed
         + (Array.length entries * cfg.Raft.Config.cost_follower_entry));

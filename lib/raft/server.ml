@@ -629,6 +629,9 @@ let handle_append_entries t ~term ~leader ~prev_index ~prev_term ~entries ~commi
      retransmitted message must not race its successor) *)
   Depfast.Mutex.with_lock t.sched t.append_mu @@ fun () ->
   let cfg = t.cfg in
+  (* depfast-lint: allow lock-across-call — serial by design: the FIFO
+     append lock admits entries in delivery order, and the modeled CPU
+     cost of processing one message is part of that critical section *)
   cpu_work t
     (cfg.Config.cost_follower_fixed
     + (Array.length entries * cfg.Config.cost_follower_entry));

@@ -1,0 +1,9 @@
+(* fixture: a quorum that can never fire — Count 5 over 3 children, but
+   both numbers live in another module, so only the whole-project pass
+   (resolving constants and list lengths cross-module) can prove it *)
+let replicate sched =
+  let q = Depfast.Event.quorum (Depfast.Event.Count Arity_config.needed) in
+  List.iter
+    (fun peer -> Depfast.Event.add q ~child:(Depfast.Event.rpc_completion ~peer ()))
+    Arity_config.replicas;
+  Depfast.Sched.wait sched q

@@ -1,0 +1,9 @@
+(* fixture: half of a two-module lock-order cycle. [checkpoint] holds
+   log_mu and calls into Cycle_right, which acquires snap_mu — so the
+   static acquisition order here is log_mu -> snap_mu. *)
+let log_mu = Depfast.Mutex.create ~label:"left-log" ()
+
+let flush sched = Depfast.Mutex.with_lock sched log_mu (fun () -> ())
+
+let checkpoint sched =
+  Depfast.Mutex.with_lock sched log_mu (fun () -> Cycle_right.sync sched)

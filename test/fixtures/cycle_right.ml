@@ -1,0 +1,9 @@
+(* fixture: the other half — [archive] holds snap_mu and calls back into
+   Cycle_left, which acquires log_mu: snap_mu -> log_mu. Either file
+   alone is clean; together the order graph has a cycle. *)
+let snap_mu = Depfast.Mutex.create ~label:"right-snap" ()
+
+let sync sched = Depfast.Mutex.with_lock sched snap_mu (fun () -> ())
+
+let archive sched =
+  Depfast.Mutex.with_lock sched snap_mu (fun () -> Cycle_left.flush sched)

@@ -1,0 +1,9 @@
+(* fixture: a perfectly green quorum wait — per-file this module is
+   clean, but it does suspend, which matters to anyone calling it with
+   a lock held *)
+let await_majority sched ~peers =
+  let q = Depfast.Event.quorum Depfast.Event.Majority in
+  List.iter
+    (fun peer -> Depfast.Event.add q ~child:(Depfast.Event.rpc_completion ~peer ()))
+    peers;
+  Depfast.Sched.wait sched q

@@ -1,0 +1,8 @@
+(* fixture: a tuple binding must not launder the completion — the event
+   rides in the first component of begin_call's return, and the wait on
+   it is as red as the direct form *)
+let begin_call ~peer = (Depfast.Event.rpc_completion ~peer (), peer)
+
+let replicate sched ~peer =
+  let ack, _where = begin_call ~peer in
+  Depfast.Sched.wait sched ack

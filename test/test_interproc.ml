@@ -1,0 +1,213 @@
+(* Self-tests for the whole-project interprocedural pass: each fixture
+   pair is clean to the per-file lint and flagged only when analyzed
+   together, plus negatives, the no-double-reporting contract, and a
+   self-lint of the library sources. *)
+
+module F = Analysis.Finding
+module SL = Analysis.Source_lint
+module IP = Analysis.Interproc
+
+let check_bool = Alcotest.(check bool)
+let check_int = Alcotest.(check int)
+let check_rules = Alcotest.(check (list string))
+
+let rules fs = List.sort_uniq compare (List.map (fun f -> f.F.rule) fs)
+let unallowed_rules fs = rules (F.unallowed fs)
+
+let fixture name =
+  let cands = [ Filename.concat "fixtures" name; Filename.concat "test/fixtures" name ] in
+  match List.find_opt Sys.file_exists cands with
+  | Some p -> p
+  | None -> Alcotest.fail ("fixture not found: " ^ name)
+
+let pair a b = IP.analyze_files [ fixture a; fixture b ]
+
+let per_file_clean name =
+  check_rules (name ^ " clean per-file") [] (rules (SL.lint_file (fixture name)))
+
+(* ------------------------------------------------------------------ *)
+(* cross-module red wait *)
+
+let test_xmod_red_wait () =
+  per_file_clean "xmod_producer.ml";
+  per_file_clean "xmod_consumer.ml";
+  let fs = pair "xmod_producer.ml" "xmod_consumer.ml" in
+  check_rules "red wait seen only whole-project" [ "cross-module-red-wait" ]
+    (unallowed_rules fs);
+  match List.filter (fun f -> f.F.rule = F.cross_module_red_wait) fs with
+  | [ f ] ->
+    check_bool "error severity" true (f.F.severity = F.Error);
+    check_bool "located in the consumer" true
+      (match f.F.loc with
+      | F.File { file; _ } -> Filename.basename file = "xmod_consumer.ml"
+      | F.Node _ -> false)
+  | l -> Alcotest.failf "expected one cross-module finding, got %d" (List.length l)
+
+let test_no_double_reporting () =
+  (* a same-file red wait belongs to the per-file lint; the
+     interprocedural pass must stay silent about it *)
+  let fs = IP.analyze_files [ fixture "red_wait_bad.ml" ] in
+  check_bool "local facts are Source_lint's domain" false
+    (List.mem F.cross_module_red_wait (rules fs))
+
+(* ------------------------------------------------------------------ *)
+(* lock-order cycle *)
+
+let test_lock_order_cycle () =
+  per_file_clean "cycle_left.ml";
+  per_file_clean "cycle_right.ml";
+  let fs = pair "cycle_left.ml" "cycle_right.ml" in
+  check_rules "two-module deadlock found" [ "lock-order-cycle" ] (unallowed_rules fs);
+  match fs with
+  | [ f ] ->
+    let contains hay needle =
+      let nh = String.length hay and nn = String.length needle in
+      let rec go i = i + nn <= nh && (String.sub hay i nn = needle || go (i + 1)) in
+      go 0
+    in
+    check_bool "names both mutexes" true
+      (contains f.F.message "Cycle_left.log_mu" && contains f.F.message "Cycle_right.snap_mu")
+  | l -> Alcotest.failf "expected one cycle finding, got %d" (List.length l)
+
+let test_lock_order_consistent () =
+  (* same two modules, but both sides take log before snap: no cycle *)
+  let left =
+    {|let log_mu = Depfast.Mutex.create ()
+let flush sched = Depfast.Mutex.with_lock sched log_mu (fun () -> Right.sync sched)
+|}
+  in
+  let right =
+    {|let snap_mu = Depfast.Mutex.create ()
+let sync sched = Depfast.Mutex.with_lock sched snap_mu (fun () -> ())
+let archive sched = Left.flush sched
+|}
+  in
+  let fs = IP.analyze_sources [ ("left.ml", left); ("right.ml", right) ] in
+  check_rules "consistent order is clean" [] (rules fs)
+
+(* ------------------------------------------------------------------ *)
+(* quorum arity *)
+
+let test_quorum_arity_mismatch () =
+  per_file_clean "arity_config.ml";
+  per_file_clean "arity_use.ml";
+  let fs = pair "arity_config.ml" "arity_use.ml" in
+  check_rules "Count 5 over 3 children proven dead" [ "quorum-arity-mismatch" ]
+    (unallowed_rules fs)
+
+let test_quorum_arity_satisfied () =
+  let cfg = "let replicas = [ \"a\"; \"b\"; \"c\" ]\nlet needed = 2\n" in
+  let use =
+    {|let replicate sched =
+  let q = Depfast.Event.quorum (Depfast.Event.Count Cfg.needed) in
+  List.iter
+    (fun peer -> Depfast.Event.add q ~child:(Depfast.Event.rpc_completion ~peer ()))
+    Cfg.replicas;
+  Depfast.Sched.wait sched q
+|}
+  in
+  let fs = IP.analyze_sources [ ("cfg.ml", cfg); ("use.ml", use) ] in
+  check_rules "Count 2 over 3 children is fine" [] (rules fs)
+
+(* ------------------------------------------------------------------ *)
+(* suspension under a lock, across a call *)
+
+let test_lock_across_call () =
+  per_file_clean "iplock_callee.ml";
+  per_file_clean "iplock_caller.ml";
+  let fs = pair "iplock_callee.ml" "iplock_caller.ml" in
+  check_rules "hidden suspension under the lock" [ "lock-across-call" ] (unallowed_rules fs);
+  match fs with
+  | [ f ] ->
+    check_bool "located at the call site" true
+      (match f.F.loc with
+      | F.File { file; _ } -> Filename.basename file = "iplock_caller.ml"
+      | F.Node _ -> false)
+  | l -> Alcotest.failf "expected one finding, got %d" (List.length l)
+
+let test_lock_across_call_pragma () =
+  let caller =
+    {|let mu = Depfast.Mutex.create ()
+let commit sched ~peers =
+  Depfast.Mutex.with_lock sched mu (fun () ->
+      (* depfast-lint: allow lock-across-call — serialized on purpose *)
+      Callee.await_majority sched ~peers)
+|}
+  in
+  let callee =
+    {|let await_majority sched ~peers =
+  let q = Depfast.Event.quorum Depfast.Event.Majority in
+  List.iter
+    (fun peer -> Depfast.Event.add q ~child:(Depfast.Event.rpc_completion ~peer ()))
+    peers;
+  Depfast.Sched.wait sched q
+|}
+  in
+  let fs = IP.analyze_sources [ ("caller.ml", caller); ("callee.ml", callee) ] in
+  check_int "finding still reported" 1
+    (List.length (List.filter (fun f -> f.F.rule = F.lock_across_call) fs));
+  check_rules "but exempted by the pragma" [] (unallowed_rules fs)
+
+(* ------------------------------------------------------------------ *)
+(* argument flow into a waiting callee *)
+
+let test_red_wait_via_argument () =
+  let producer = "let begin_append ~peer = Depfast.Event.rpc_completion ~peer ()\n" in
+  let waiter = "let settle sched ev = Depfast.Sched.wait sched ev\n" in
+  let glue =
+    {|let replicate sched ~peer =
+  let ack = Producer.begin_append ~peer in
+  Waiter.settle sched ack
+|}
+  in
+  let fs =
+    IP.analyze_sources
+      [ ("producer.ml", producer); ("waiter.ml", waiter); ("glue.ml", glue) ]
+  in
+  check_bool "caller hands a bare completion to a waiting callee" true
+    (List.exists
+       (fun f ->
+         f.F.rule = F.cross_module_red_wait
+         && match f.F.loc with F.File { file; _ } -> file = "glue.ml" | F.Node _ -> false)
+       fs)
+
+(* ------------------------------------------------------------------ *)
+(* self-lint: the library must hold itself to the whole-project rules *)
+
+let rec ml_files_under dir =
+  Sys.readdir dir |> Array.to_list
+  |> List.concat_map (fun name ->
+         let p = Filename.concat dir name in
+         if Sys.is_directory p then ml_files_under p
+         else if Filename.check_suffix name ".ml" && not (Filename.check_suffix name ".pp.ml")
+         then [ p ]
+         else [])
+
+let test_self_lint () =
+  match List.find_opt Sys.file_exists [ "../lib"; "lib" ] with
+  | None -> ()  (* sources not materialized in this sandbox: nothing to check *)
+  | Some root ->
+    let files = List.sort compare (ml_files_under root) in
+    check_bool "found the library sources" true (List.length files > 10);
+    let fs = IP.analyze_files files in
+    let bad = F.gating ~strict:true fs in
+    if bad <> [] then
+      Alcotest.failf "library violates its own interprocedural rules:\n%s"
+        (String.concat "\n" (List.map F.to_string bad))
+
+let suite =
+  [
+    ( "interproc",
+      [
+        Alcotest.test_case "cross-module red wait" `Quick test_xmod_red_wait;
+        Alcotest.test_case "no double reporting" `Quick test_no_double_reporting;
+        Alcotest.test_case "lock-order cycle" `Quick test_lock_order_cycle;
+        Alcotest.test_case "lock order (negative)" `Quick test_lock_order_consistent;
+        Alcotest.test_case "quorum arity mismatch" `Quick test_quorum_arity_mismatch;
+        Alcotest.test_case "quorum arity (negative)" `Quick test_quorum_arity_satisfied;
+        Alcotest.test_case "lock across call" `Quick test_lock_across_call;
+        Alcotest.test_case "lock across call (pragma)" `Quick test_lock_across_call_pragma;
+        Alcotest.test_case "red wait via argument" `Quick test_red_wait_via_argument;
+        Alcotest.test_case "self-lint lib/" `Quick test_self_lint;
+      ] );
+  ]

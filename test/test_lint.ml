@@ -123,6 +123,43 @@ let f sched ~peer = Depfast.Sched.wait sched (replica sched ~peer)
   check_rules "wait on a local producer function"
     [ "red-wait"; "unbounded-wait" ] (unallowed_rules fs)
 
+let test_tuple_binding_tracked () =
+  (* regression: [let ev, meta = ...] used to launder the completion *)
+  let fs =
+    SL.lint_string
+      {|let f sched ~peer =
+  let ack, _meta = (Depfast.Event.rpc_completion ~peer (), peer) in
+  Depfast.Sched.wait sched ack
+|}
+  in
+  check_rules "tuple literal binding tracked" [ "red-wait"; "unbounded-wait" ]
+    (unallowed_rules fs)
+
+let test_tuple_binding_other_component () =
+  let fs =
+    SL.lint_string
+      {|let f sched ~peer =
+  let _meta, ack = (peer, Depfast.Event.signal ()) in
+  let ev, _ = (Depfast.Event.rpc_completion ~peer (), peer) in
+  ignore ev;
+  Depfast.Sched.wait sched ack
+|}
+  in
+  check_rules "non-remote component stays green" [] (rules fs)
+
+let test_tuple_producer_function () =
+  let fs =
+    SL.lint_string
+      {|let begin_call ~peer = (Depfast.Event.rpc_completion ~peer (), peer)
+
+let f sched ~peer =
+  let ack, _where = begin_call ~peer in
+  Depfast.Sched.wait sched ack
+|}
+  in
+  check_rules "completion tracked through a tuple-returning function"
+    [ "red-wait"; "unbounded-wait" ] (unallowed_rules fs)
+
 (* ------------------------------------------------------------------ *)
 (* source lint: degenerate quorum *)
 
@@ -233,6 +270,10 @@ let test_fixture_lock_across_wait () =
   let ok = SL.lint_file (fixture "lock_across_wait_ok.ml") in
   check_rules "disciplined fixture clean" [] (rules ok)
 
+let test_fixture_tuple_red_wait () =
+  let fs = SL.lint_file (fixture "tuple_red_wait.ml") in
+  check_rules "tuple fixture flagged" [ "red-wait"; "unbounded-wait" ] (unallowed_rules fs)
+
 let test_fixture_pragma () =
   let fs = SL.lint_file (fixture "pragma_allowed.ml") in
   check_int "findings reported" 2 (List.length fs);
@@ -330,6 +371,9 @@ let suite =
         Alcotest.test_case "unbounded (negative: timeout)" `Quick test_unbounded_negative_timeout;
         Alcotest.test_case "shadowing clears fact" `Quick test_shadowing_clears_fact;
         Alcotest.test_case "producer propagation" `Quick test_producer_propagation;
+        Alcotest.test_case "tuple binding tracked" `Quick test_tuple_binding_tracked;
+        Alcotest.test_case "tuple binding (negative)" `Quick test_tuple_binding_other_component;
+        Alcotest.test_case "tuple producer function" `Quick test_tuple_producer_function;
         Alcotest.test_case "degenerate quorum (positive)" `Quick test_degenerate_quorum_positive;
         Alcotest.test_case "degenerate quorum (negative)" `Quick test_degenerate_quorum_negative;
         Alcotest.test_case "lock across wait (with_lock)" `Quick
@@ -344,6 +388,7 @@ let suite =
       [
         Alcotest.test_case "red wait pair" `Quick test_fixture_red_wait;
         Alcotest.test_case "lock pair" `Quick test_fixture_lock_across_wait;
+        Alcotest.test_case "tuple red wait" `Quick test_fixture_tuple_red_wait;
         Alcotest.test_case "pragma" `Quick test_fixture_pragma;
       ] );
     ( "lint.dag",
