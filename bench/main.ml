@@ -20,6 +20,8 @@ let params quick = if quick then Harness.Params.quick else Harness.Params.full
 let micro_results : Micro.result list ref = ref []
 let trace_cmp : (float * float) option ref = ref None
 let lint_stats : (int * float * int) option ref = ref None  (* files, wall ms, findings *)
+let macro_stats : (float * float * float * float) option ref = ref None
+(* tput, p50 ms, p99 ms, leader cpu *)
 
 (* static-analysis probe: wall time of the per-file lint plus the
    whole-project interprocedural pass over the library sources — the
@@ -65,6 +67,26 @@ let run_fig1_json quick =
     off on
     (100.0 *. on /. off)
 
+(* macro throughput probe: the fig1-shaped healthy cell (3-replica
+   DepFastRaft under the closed-loop YCSB-style write workload, no fault
+   injected) — the replication-path number the zero-copy/pooled/pipelined
+   overhaul is accountable to *)
+let run_macro_json quick =
+  let params = params quick in
+  let cell =
+    Harness.Runner.run_cell ~trace:false ~params ~system:Harness.Runner.Depfast_raft
+      ~n:3 ~slow_count:1 ~fault:None ()
+  in
+  let m = cell.Harness.Runner.metrics in
+  let tput = Workload.Metrics.throughput m in
+  let p50 = Workload.Metrics.p50_latency_ms m in
+  let p99 = Workload.Metrics.p99_latency_ms m in
+  let cpu = m.Workload.Metrics.leader_utilization in
+  macro_stats := Some (tput, p50, p99, cpu);
+  Printf.printf
+    "macro probe: %.0f ops/s, p50 %.2f ms, p99 %.2f ms, leader CPU %.0f%%\n%!" tput p50
+    p99 (100.0 *. cpu)
+
 let run_experiment ~json quick = function
   | "table1" -> Harness.Table1.print ()
   | "fig1" -> if json then run_fig1_json quick else Harness.Fig1.print ~params:(params quick) ()
@@ -77,13 +99,16 @@ let run_experiment ~json quick = function
     if json then micro_results := rs;
     Micro.print rs
   | "lint" -> run_lint_json ()
+  | "macro" -> run_macro_json quick
   | other ->
     Printf.eprintf
-      "unknown experiment %S (expected table1|fig1|fig2|fig3|ablation|mitigation|micro|lint)\n"
+      "unknown experiment %S (expected \
+       table1|fig1|fig2|fig3|ablation|mitigation|micro|lint|macro)\n"
       other;
     exit 2
 
-let all = [ "table1"; "fig1"; "fig2"; "fig3"; "ablation"; "mitigation"; "micro"; "lint" ]
+let all =
+  [ "table1"; "fig1"; "fig2"; "fig3"; "ablation"; "mitigation"; "micro"; "lint"; "macro" ]
 
 (* hand-rolled JSON: two flat sections, no escaping needed beyond labels
    (which are ASCII without quotes/backslashes) *)
@@ -107,6 +132,14 @@ let write_json path =
          ",\n  \"fig1_trace\": {\"trace_off_tput\": %.2f, \"trace_on_tput\": %.2f, \
           \"ratio\": %.4f}"
          off on (on /. off))
+  | None -> ());
+  (match !macro_stats with
+  | Some (tput, p50, p99, cpu) ->
+    Buffer.add_string buf
+      (Printf.sprintf
+         ",\n  \"fig1_macro\": {\"tput_ops_s\": %.2f, \"p50_ms\": %.2f, \"p99_ms\": \
+          %.2f, \"leader_cpu\": %.4f}"
+         tput p50 p99 cpu)
   | None -> ());
   (match !lint_stats with
   | Some (files, ms, findings) ->

@@ -86,6 +86,34 @@ let bench_rlog =
          done;
          ignore (Raft.Rlog.slice_array log ~from:500 ~max:64)))
 
+let bench_net_send =
+  Test.make ~name:"net: send+deliver 1000 messages (pooled links)"
+    (Staged.stage (fun () ->
+         let engine = Sim.Engine.create () in
+         let sched = Depfast.Sched.create engine in
+         let net = Cluster.Net.create sched ~latency:(Sim.Dist.Constant 100.0) () in
+         let a = Cluster.Node.create sched ~id:0 ~name:"a" () in
+         let b = Cluster.Node.create sched ~id:1 ~name:"b" () in
+         Cluster.Net.register net a ~handler:(fun ~src:_ _ -> ());
+         Cluster.Net.register net b ~handler:(fun ~src:_ _ -> ());
+         for i = 1 to 1000 do
+           Cluster.Net.send net ~src:(i land 1) ~dst:(1 - (i land 1)) i
+         done;
+         Depfast.Sched.run sched;
+         assert (Cluster.Net.delivered_count net = 1000)))
+
+let bench_rlog_ship =
+  Test.make ~name:"rlog: ship 64-entry batch as a view (zero-copy)"
+    (Staged.stage
+       (let log = Raft.Rlog.create () in
+        for i = 1 to 1000 do
+          Raft.Rlog.append log
+            { term = 1; index = i; cmd = Raft.Types.Nop; client_id = -1; seq = 0 }
+        done;
+        fun () ->
+          let v = Raft.Rlog.view log ~from:500 ~max:64 in
+          ignore (Raft.Rlog.View.bytes v)))
+
 let all_tests =
   [
     ("event_fire", bench_event_fire);
@@ -96,6 +124,8 @@ let all_tests =
     ("engine_1000_timers", bench_engine_timers);
     ("hist_1000_samples", bench_hist);
     ("rlog_append_slice", bench_rlog);
+    ("net_send_1000", bench_net_send);
+    ("rlog_ship_batch", bench_rlog_ship);
   ]
 
 type result = {

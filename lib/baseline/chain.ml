@@ -55,7 +55,8 @@ let forward t b entries =
                 leader = Cluster.Node.id (head t).Common.node;
                 prev_index;
                 prev_term = 1;
-                entries;
+                (* baselines ship a copied batch, wrapped as an owned view *)
+                entries = view_of_array entries;
                 commit = t.tail_acked;
               }))
     end
@@ -136,7 +137,10 @@ let handle t b ~src:_ req =
   match req with
   | Client_request { cmd; client_id; seq } ->
     Some (Common.handle_client_request b ~cmd ~client_id ~seq)
-  | Append_entries { entries; commit; _ } -> handle_append t b ~entries ~commit
+  | Append_entries { entries; commit; _ } -> (
+    match view_materialize entries with
+    | None -> None
+    | Some entries -> handle_append t b ~entries ~commit)
   | Update_position { match_index; _ } -> handle_tail_ack t ~match_index
   | Request_vote _ | Pull_oplog _ | Transfer_leadership _ | Timeout_now -> Some Ack
 

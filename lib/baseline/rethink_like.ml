@@ -139,7 +139,8 @@ let drainer_loop t f =
                  leader = Cluster.Node.id b.Common.node;
                  prev_index;
                  prev_term = 1;
-                 entries;
+                 (* baselines ship a copied batch, wrapped as an owned view *)
+                 entries = view_of_array entries;
                  commit = b.Common.commit_index;
                })
         in
@@ -216,8 +217,10 @@ let handle b ~src:_ req =
   match req with
   | Client_request { cmd; client_id; seq } ->
     Some (Common.handle_client_request b ~cmd ~client_id ~seq)
-  | Append_entries { prev_index; entries; commit; _ } ->
-    Some (handle_append_entries b ~prev_index ~entries ~commit)
+  | Append_entries { prev_index; entries; commit; _ } -> (
+    match view_materialize entries with
+    | None -> None
+    | Some entries -> Some (handle_append_entries b ~prev_index ~entries ~commit))
   | Request_vote _ | Pull_oplog _ | Update_position _ | Transfer_leadership _
   | Timeout_now ->
     Some Ack

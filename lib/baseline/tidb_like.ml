@@ -126,7 +126,8 @@ let prep_and_send t f =
                leader = Cluster.Node.id b.Common.node;
                prev_index = from - 1;
                prev_term = 1;
-               entries;
+               (* baselines ship a copied batch, wrapped as an owned view *)
+               entries = view_of_array entries;
                commit = b.Common.commit_index;
              })
       in
@@ -174,8 +175,10 @@ let handle t b ~src:_ req =
   match req with
   | Client_request { cmd; client_id; seq } ->
     Some (Common.handle_client_request b ~cmd ~client_id ~seq)
-  | Append_entries { prev_index; entries; commit; _ } ->
-    Some (handle_append_entries b ~prev_index ~entries ~commit)
+  | Append_entries { prev_index; entries; commit; _ } -> (
+    match view_materialize entries with
+    | None -> None
+    | Some entries -> Some (handle_append_entries b ~prev_index ~entries ~commit))
   | Request_vote _ | Pull_oplog _ | Update_position _ | Transfer_leadership _
   | Timeout_now ->
     ignore t;

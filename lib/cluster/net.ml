@@ -1,17 +1,47 @@
 open Sim
 
-type 'msg endpoint = { node : Node.t; handler : src:int -> 'msg -> unit }
+type 'msg endpoint = {
+  node : Node.t;
+  handler : src:int -> 'msg -> unit;
+  mutable out : 'msg link option array;  (* outgoing links, indexed by dst id *)
+}
+
+(* One outbox per directed link: a FIFO ring of in-flight messages drained
+   by a single reusable pump callback. This replaces the previous
+   (src,dst)-keyed hashtable and the per-message delivery closure — steady
+   state sends allocate nothing beyond the ring slots themselves. *)
+and 'msg link = {
+  link_src : int;
+  link_dst : int;
+  mutable ring : 'msg array;  (* lazily sized from the first message *)
+  mutable times : Time.t array;  (* parallel: absolute arrival per slot *)
+  mutable units : int array;  (* parallel: bytes-equivalent per slot *)
+  mutable head : int;
+  mutable len : int;
+  mutable last_arrival : Time.t;  (* FIFO clamp: arrivals strictly increase *)
+  mutable armed : bool;  (* a pump callback is scheduled *)
+  mutable pump : unit -> unit;  (* the one reusable delivery thunk *)
+  mutable l_delivered : int;
+  mutable l_dropped : int;
+  mutable l_units : int;  (* units actually delivered *)
+}
+
+type stats = { delivered : int; dropped : int; units : int }
 
 type 'msg t = {
   sched : Depfast.Sched.t;
   latency : Dist.t;
   rng : Rng.t;
-  endpoints : (int, 'msg endpoint) Hashtbl.t;
+  mutable eps : 'msg endpoint option array;  (* indexed by node id *)
   cuts : (int * int, unit) Hashtbl.t;
-  last_delivery : (int * int, Time.t) Hashtbl.t;  (* FIFO per directed link *)
+  mutable sorted_nodes : Node.t list;  (* cache, rebuilt on register *)
+  mutable sorted_valid : bool;
   mutable delivered : int;
   mutable dropped : int;
+  mutable units_total : int;
 }
+
+let no_arrival = Time.add Time.zero (-1)
 
 let create sched ?(latency = Dist.Shifted (120.0, Dist.Exponential 30.0)) ?rng () =
   let rng =
@@ -21,34 +51,167 @@ let create sched ?(latency = Dist.Shifted (120.0, Dist.Exponential 30.0)) ?rng (
     sched;
     latency;
     rng;
-    endpoints = Hashtbl.create 16;
+    eps = Array.make 16 None;
     cuts = Hashtbl.create 4;
-    last_delivery = Hashtbl.create 64;
+    sorted_nodes = [];
+    sorted_valid = true;
     delivered = 0;
     dropped = 0;
+    units_total = 0;
   }
 
+let grow_slots arr want =
+  let cap = Array.length arr in
+  if want < cap then arr
+  else begin
+    let next = Array.make (max (want + 1) (2 * cap)) None in
+    Array.blit arr 0 next 0 cap;
+    next
+  end
+
 let register t node ~handler =
-  Hashtbl.replace t.endpoints (Node.id node) { node; handler }
+  let id = Node.id node in
+  t.eps <- grow_slots t.eps id;
+  t.eps.(id) <- Some { node; handler; out = [||] };
+  t.sorted_valid <- false
+
+let ep_opt t id = if id < 0 || id >= Array.length t.eps then None else t.eps.(id)
 
 let node t id =
-  match Hashtbl.find_opt t.endpoints id with
-  | Some ep -> ep.node
-  | None -> raise Not_found
+  match ep_opt t id with Some ep -> ep.node | None -> raise Not_found
 
 let nodes t =
-  Hashtbl.fold (fun _ ep acc -> ep.node :: acc) t.endpoints []
-  |> List.sort (fun a b -> compare (Node.id a) (Node.id b))
+  if not t.sorted_valid then begin
+    let acc = ref [] in
+    for i = Array.length t.eps - 1 downto 0 do
+      match t.eps.(i) with Some ep -> acc := ep.node :: !acc | None -> ()
+    done;
+    t.sorted_nodes <- !acc;
+    t.sorted_valid <- true
+  end;
+  t.sorted_nodes
 
 let cut_key a b = if a < b then (a, b) else (b, a)
 let partition t a b = Hashtbl.replace t.cuts (cut_key a b) ()
 let heal t a b = Hashtbl.remove t.cuts (cut_key a b)
 let partitioned t a b = Hashtbl.mem t.cuts (cut_key a b)
 
-let send t ~src ~dst msg =
-  match (Hashtbl.find_opt t.endpoints src, Hashtbl.find_opt t.endpoints dst) with
+(* ---------- link outboxes ---------- *)
+
+(* Deliver the head message: liveness and partitions are re-checked at
+   arrival time, exactly as the per-message closures used to. *)
+let deliver_head t link =
+  let cap = Array.length link.ring in
+  let slot = link.head in
+  let msg = Array.unsafe_get link.ring slot in
+  let u = Array.unsafe_get link.units slot in
+  link.head <- (slot + 1) mod cap;
+  link.len <- link.len - 1;
+  match ep_opt t link.link_dst with
+  | Some dep when Node.alive dep.node && not (partitioned t link.link_src link.link_dst)
+    ->
+    link.l_delivered <- link.l_delivered + 1;
+    link.l_units <- link.l_units + u;
+    t.delivered <- t.delivered + 1;
+    t.units_total <- t.units_total + u;
+    dep.handler ~src:link.link_src msg
+  | Some _ | None ->
+    link.l_dropped <- link.l_dropped + 1;
+    t.dropped <- t.dropped + 1
+
+let arm t link =
+  link.armed <- true;
+  let engine = Depfast.Sched.engine t.sched in
+  let delay = Time.diff link.times.(link.head) (Engine.now engine) in
+  ignore (Engine.schedule engine ~delay link.pump)
+
+let rec pump t link () =
+  link.armed <- false;
+  if link.len > 0 then begin
+    let now = Engine.now (Depfast.Sched.engine t.sched) in
+    (* arrivals on a link are strictly increasing, so this normally
+       delivers exactly the head *)
+    while link.len > 0 && link.times.(link.head) <= now do
+      deliver_head t link
+    done;
+    if link.len > 0 && not link.armed then arm t link
+  end
+
+and make_link t ~src ~dst =
+  let link =
+    {
+      link_src = src;
+      link_dst = dst;
+      ring = [||];
+      times = [||];
+      units = [||];
+      head = 0;
+      len = 0;
+      last_arrival = no_arrival;
+      armed = false;
+      pump = ignore;
+      l_delivered = 0;
+      l_dropped = 0;
+      l_units = 0;
+    }
+  in
+  link.pump <- pump t link;
+  link
+
+let link_for t sep ~src ~dst =
+  if dst >= Array.length sep.out then begin
+    let next = Array.make (max (dst + 1) (2 * max 4 (Array.length sep.out))) None in
+    Array.blit sep.out 0 next 0 (Array.length sep.out);
+    sep.out <- next
+  end;
+  match sep.out.(dst) with
+  | Some l -> l
+  | None ->
+    let l = make_link t ~src ~dst in
+    sep.out.(dst) <- Some l;
+    l
+
+let ensure_room link msg =
+  let cap = Array.length link.ring in
+  if cap = 0 then begin
+    link.ring <- Array.make 8 msg;
+    link.times <- Array.make 8 Time.zero;
+    link.units <- Array.make 8 0
+  end
+  else if link.len = cap then begin
+    let ring = Array.make (2 * cap) msg in
+    let times = Array.make (2 * cap) Time.zero in
+    let units = Array.make (2 * cap) 0 in
+    for i = 0 to link.len - 1 do
+      let slot = (link.head + i) mod cap in
+      ring.(i) <- link.ring.(slot);
+      times.(i) <- link.times.(slot);
+      units.(i) <- link.units.(slot)
+    done;
+    link.ring <- ring;
+    link.times <- times;
+    link.units <- units;
+    link.head <- 0
+  end
+
+let enqueue t link msg ~units ~arrival =
+  ensure_room link msg;
+  let cap = Array.length link.ring in
+  let slot = (link.head + link.len) mod cap in
+  Array.unsafe_set link.ring slot msg;
+  Array.unsafe_set link.times slot arrival;
+  Array.unsafe_set link.units slot units;
+  link.len <- link.len + 1;
+  if not link.armed then arm t link
+
+let send t ?(units = 0) ~src ~dst msg =
+  match (ep_opt t src, ep_opt t dst) with
   | Some sep, Some dep ->
-    if (not (Node.alive sep.node)) || partitioned t src dst then t.dropped <- t.dropped + 1
+    let link = link_for t sep ~src ~dst in
+    if (not (Node.alive sep.node)) || partitioned t src dst then begin
+      link.l_dropped <- link.l_dropped + 1;
+      t.dropped <- t.dropped + 1
+    end
     else begin
       let delay =
         Dist.sample_span t.rng t.latency
@@ -59,21 +222,22 @@ let send t ~src ~dst msg =
       let engine = Depfast.Sched.engine t.sched in
       let arrival = Time.add (Engine.now engine) delay in
       let arrival =
-        match Hashtbl.find_opt t.last_delivery (src, dst) with
-        | Some prev when prev >= arrival -> Time.add prev 1
-        | Some _ | None -> arrival
+        if link.last_arrival >= arrival then Time.add link.last_arrival 1
+        else arrival
       in
-      Hashtbl.replace t.last_delivery (src, dst) arrival;
-      let delay = Time.diff arrival (Engine.now engine) in
-      ignore
-        (Engine.schedule engine ~delay (fun () ->
-             if Node.alive dep.node && not (partitioned t src dst) then begin
-               t.delivered <- t.delivered + 1;
-               dep.handler ~src msg
-             end
-             else t.dropped <- t.dropped + 1))
+      link.last_arrival <- arrival;
+      enqueue t link msg ~units ~arrival
     end
   | _ -> t.dropped <- t.dropped + 1
 
 let delivered_count t = t.delivered
 let dropped_count t = t.dropped
+let totals t = { delivered = t.delivered; dropped = t.dropped; units = t.units_total }
+
+let stats t ~src ~dst =
+  match ep_opt t src with
+  | Some sep when dst < Array.length sep.out -> (
+    match sep.out.(dst) with
+    | Some l -> { delivered = l.l_delivered; dropped = l.l_dropped; units = l.l_units }
+    | None -> { delivered = 0; dropped = 0; units = 0 })
+  | _ -> { delivered = 0; dropped = 0; units = 0 }

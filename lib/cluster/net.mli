@@ -4,9 +4,18 @@
     distribution, plus each endpoint's NIC delay (the `tc netem` fault adds
     400 ms there). Supports partitions. Messages to or from dead or
     partitioned nodes are silently dropped — as on a real network, senders
-    learn nothing. *)
+    learn nothing.
+
+    Endpoints live in a direct array indexed by node id, and each directed
+    link owns a pooled outbox: a FIFO ring of in-flight messages drained by
+    one reusable delivery callback, so steady-state sends allocate no
+    per-message closure. *)
 
 type 'msg t
+
+type stats = { delivered : int; dropped : int; units : int }
+(** [units] is the caller-supplied bytes-equivalent accounting (see
+    {!send}) summed over delivered messages. *)
 
 val create :
   Depfast.Sched.t ->
@@ -25,11 +34,14 @@ val node : 'msg t -> int -> Node.t
 (** @raise Not_found for unknown ids. *)
 
 val nodes : 'msg t -> Node.t list
+(** Registered nodes in id order. The sorted list is cached and only
+    rebuilt after a {!register}. *)
 
-val send : 'msg t -> src:int -> dst:int -> 'msg -> unit
+val send : 'msg t -> ?units:int -> src:int -> dst:int -> 'msg -> unit
 (** Fire-and-forget. Sampled delay = latency + src NIC + dst NIC. Dropped if
     either end is dead or the pair is partitioned (checked at delivery time
-    for dst, at send time for src). *)
+    for dst, at send time for src). [units] (default 0) is an opaque
+    bytes-equivalent weight accumulated into {!stats} on delivery. *)
 
 val partition : 'msg t -> int -> int -> unit
 (** Cut both directions between two nodes. *)
@@ -41,3 +53,10 @@ val partitioned : 'msg t -> int -> int -> bool
 val delivered_count : 'msg t -> int
 
 val dropped_count : 'msg t -> int
+
+val totals : 'msg t -> stats
+(** Network-wide delivery counters. *)
+
+val stats : 'msg t -> src:int -> dst:int -> stats
+(** Counters for one directed link; all-zero if the link never carried a
+    message. *)

@@ -43,6 +43,8 @@ let set_discard_stragglers t b = t.discard_stragglers <- b
 let discarded_responses t = t.discarded
 
 let outstanding_bytes t ~node = Option.value ~default:0 (Hashtbl.find_opt t.outstanding node)
+let link_stats t ~src ~dst = Net.stats t.net ~src ~dst
+let net_totals t = Net.totals t.net
 
 let charge t node bytes =
   Hashtbl.replace t.outstanding node (outstanding_bytes t ~node + bytes)
@@ -104,7 +106,7 @@ let call t ~src ~dst ?bytes body =
         c.done_ <- true;
         release ()
       end);
-  Net.send t.net ~src:src_id ~dst (Req { id; body });
+  Net.send t.net ~units:bytes ~src:src_id ~dst (Req { id; body });
   c
 
 let event c = c.ev

@@ -70,3 +70,10 @@ val discarded_responses : ('req, 'resp) t -> int
 
 val outstanding_bytes : ('req, 'resp) t -> node:int -> int
 (** Call-buffer bytes currently charged to [node]. *)
+
+val link_stats : ('req, 'resp) t -> src:int -> dst:int -> Net.stats
+(** Delivered/dropped message counts and request bytes shipped on one
+    directed link of the underlying network. *)
+
+val net_totals : ('req, 'resp) t -> Net.stats
+(** Network-wide counters for the underlying network. *)

@@ -14,19 +14,62 @@ type t = {
   election_timeout_max : Time.span;
   heartbeat_interval : Time.span;
   batch_max : int;  (** max entries per AppendEntries *)
+  pipeline_depth : int;
+      (** max unacknowledged AppendEntries per follower: the leader streams
+          up to this many batches past the last ack (flow-control window,
+          rewound on a consistency reject) instead of one batch per
+          round-trip *)
   group_commit_window : Time.span;  (** how long an idle leader waits for work *)
   rpc_timeout : Time.span;
   client_timeout : Time.span;
   (* CPU cost model, nominal core-microseconds *)
-  cost_client_parse : Time.span;  (** per client request, at the leader *)
+  cost_client_parse : Time.span;
+      (** per client request, at the leader: decode plus the per-connection
+          hashtable lookup and per-request dispatch closure of the baseline
+          systems' connection handling *)
   cost_client_reply : Time.span;
+  cost_client_parse_pooled : Time.span;
+      (** per client request, at the leader, on the pooled/indexed
+          connection path: the request resolves through a direct-indexed
+          connection slot — no hash traffic, no per-request closure *)
+  cost_client_reply_pooled : Time.span;
+      (** per client reply on the pooled path: the reply is written straight
+          out of the connection slot's reusable buffer *)
   cost_round_fixed : Time.span;  (** per replication round, leader serial *)
-  cost_marshal_entry : Time.span;  (** per entry per round, leader serial *)
-  cost_per_follower : Time.span;  (** per follower per round, leader serial *)
-  cost_ack_process : Time.span;  (** per ack, leader async *)
-  cost_send_entry : Time.span;  (** per entry per follower, sender serial *)
+  cost_marshal_entry : Time.span;
+      (** per entry per round, leader serial: WAL encode {e plus} the wire
+          serialization into a per-send buffer — the copying replication
+          path the baseline systems model *)
+  cost_wal_entry : Time.span;
+      (** per entry per round, leader serial, on the zero-copy path: WAL
+          encode only — the wire buffer is gone, the NIC ships straight out
+          of the log ({!Rlog.view}) *)
+  cost_per_follower : Time.span;
+      (** per follower per round, leader serial: assemble and hand off one
+          peer's send buffer — the baseline systems' ship path *)
+  cost_ship_view : Time.span;
+      (** per follower per round, leader serial, on the zero-copy path:
+          enqueue a view descriptor on the peer's pooled link — no buffer
+          assembly, O(1) in the batch size *)
+  cost_ack_process : Time.span;
+      (** per ack, leader async: closure dispatch + per-call table lookup —
+          the baseline systems' response path *)
+  cost_ack_indexed : Time.span;
+      (** per ack, leader async, on the pooled/indexed path: the response
+          resolves through a direct-indexed connection slot and an O(1)
+          window update, no per-message closure or hash traffic *)
+  cost_send_entry : Time.span;
+      (** per entry per follower, sender serial: the per-entry copy into the
+          send buffer. The zero-copy path does not pay this — shipping a
+          view is O(1) in the batch size *)
   cost_follower_fixed : Time.span;  (** per AppendEntries, follower serial *)
-  cost_follower_entry : Time.span;  (** per entry, follower serial *)
+  cost_follower_entry : Time.span;
+      (** per entry, follower serial: unmarshal the wire buffer entry by
+          entry, then append — the baseline systems' receive path *)
+  cost_follower_entry_view : Time.span;
+      (** per entry, follower serial, on the zero-copy path: the batch
+          materializes from the shipped log view as structured entries, so
+          the stream pays append + checksum only, no per-entry unmarshal *)
   cost_apply_entry : Time.span;  (** per committed entry, both sides *)
   cost_vote : Time.span;
   (* storage *)
@@ -47,18 +90,25 @@ let default =
     election_timeout_max = Time.ms 300;
     heartbeat_interval = Time.ms 50;
     batch_max = 64;
+    pipeline_depth = 4;
     group_commit_window = Time.ms 5;
     rpc_timeout = Time.ms 1000;
     client_timeout = Time.ms 5000;
     cost_client_parse = Time.us 250;
     cost_client_reply = Time.us 120;
+    cost_client_parse_pooled = Time.us 200;
+    cost_client_reply_pooled = Time.us 100;
     cost_round_fixed = Time.us 240;
     cost_marshal_entry = Time.us 80;
+    cost_wal_entry = Time.us 40;
     cost_per_follower = Time.us 60;
+    cost_ship_view = Time.us 40;
     cost_ack_process = Time.us 60;
+    cost_ack_indexed = Time.us 20;
     cost_send_entry = Time.us 20;
     cost_follower_fixed = Time.us 200;
     cost_follower_entry = Time.us 100;
+    cost_follower_entry_view = Time.us 60;
     cost_apply_entry = Time.us 100;
     cost_vote = Time.us 50;
     wal_entry_overhead = 48;

@@ -18,7 +18,7 @@ type follower_state = {
   mutable next_index : index;  (* next index to (re)send from *)
   mutable match_index : index;
   mutable sent_index : index;  (* optimistically advanced as batches ship *)
-  mutable in_flight_bytes : int;
+  mutable inflight : int;  (* unacknowledged AppendEntries in the window *)
   mutable last_send : Time.t;
   mutable last_ack : Time.t;
   progress_cv : Depfast.Condvar.t;
@@ -166,7 +166,9 @@ let fire_watchers fs =
 
 let handle_append_resp t fs call =
   fs.last_ack <- now t;
-  cpu_charge t t.cfg.Config.cost_ack_process;
+  (* pooled path: the ack resolves through a direct-indexed slot, not a
+     per-call closure + hashtable lookup *)
+  cpu_charge t t.cfg.Config.cost_ack_indexed;
   (match Cluster.Rpc.response call with
   | Some (Append_resp { term; success; match_index }) ->
     if term > t.term then step_down t term ~leader:None
@@ -190,27 +192,27 @@ let handle_append_resp t fs call =
 
 (* ---------------- leader: per-follower sender coroutine ----------------- *)
 
-(* TCP-like streaming: the sender ships batches as the log grows, without
-   waiting for acks, up to [sender_window] un-acknowledged bytes. The leader
-   therefore pays the same send cost for a fail-slow follower as for a
-   healthy one — it is the *wait* that is quorum-based, not the sending.
-   Requests unanswered after an RPC timeout are abandoned (their buffers
-   released — the framework-level discard of §2.3). *)
-let sender_window = 64 * 1024 * 1024
-
+(* Pipelined streaming: the sender ships batches as the log grows, without
+   waiting for each ack, up to [Config.pipeline_depth] un-acknowledged
+   AppendEntries per follower. The leader therefore pays the same send cost
+   for a fail-slow follower as for a healthy one — it is the *wait* that is
+   quorum-based, not the sending. Each batch is a zero-copy {!Rlog.view}
+   into the log: handing it to the NIC is O(1) in the batch size (no
+   per-entry copy), and the follower materializes on receipt. Requests
+   unanswered after an RPC timeout are abandoned (their buffers released —
+   the framework-level discard of §2.3). *)
 let send_append t fs =
   let from = fs.sent_index + 1 in
-  let entries = Rlog.slice_array t.rlog ~from ~max:t.cfg.Config.batch_max in
-  let n = Array.length entries in
-  if n > 0 then
-    cpu_work t
-      (t.cfg.Config.cost_per_follower + (n * t.cfg.Config.cost_send_entry));
+  let batch = Rlog.view t.rlog ~from ~max:t.cfg.Config.batch_max in
+  let n = Rlog.View.length batch in
   let prev_index = from - 1 in
   let prev_term = Option.value ~default:0 (Rlog.term_at t.rlog prev_index) in
-  let bytes = 256 + entries_bytes_a entries in
+  let bytes = 256 + Rlog.View.bytes batch in
+  (* ship cost is per batch, not per entry — the zero-copy win *)
+  if n > 0 then cpu_work t t.cfg.Config.cost_ship_view;
   fs.sent_index <- prev_index + n;
   fs.last_send <- now t;
-  fs.in_flight_bytes <- fs.in_flight_bytes + bytes;
+  fs.inflight <- fs.inflight + 1;
   let call =
     Cluster.Rpc.call t.rpc ~src:t.node ~dst:fs.f_id ~bytes
       (Append_entries
@@ -219,7 +221,7 @@ let send_append t fs =
            leader = id t;
            prev_index;
            prev_term;
-           entries;
+           entries = batch;
            commit = t.commit_index;
          })
   in
@@ -227,7 +229,7 @@ let send_append t fs =
   let settle () =
     if not !settled then begin
       settled := true;
-      fs.in_flight_bytes <- fs.in_flight_bytes - bytes
+      fs.inflight <- fs.inflight - 1
     end
   in
   Depfast.Event.on_fire (Cluster.Rpc.event call) (fun () ->
@@ -251,6 +253,7 @@ let sender_loop t fs epoch =
         && Time.diff (now t) fs.last_ack >= cfg.Config.rpc_timeout
       in
       if stalled then begin
+        (* window rewind under silence: restream from the last ack *)
         fs.sent_index <- fs.match_index;
         if Time.diff (now t) fs.last_send >= cfg.Config.heartbeat_interval then
           send_append t fs;
@@ -259,7 +262,8 @@ let sender_loop t fs epoch =
              cfg.Config.heartbeat_interval);
         loop ()
       end
-      else if fs.in_flight_bytes >= sender_window then begin
+      else if fs.inflight >= cfg.Config.pipeline_depth then begin
+        (* flow control: window full, wait for an ack to free a slot *)
         ignore
           (Depfast.Condvar.wait_timeout t.sched fs.progress_cv cfg.Config.rpc_timeout);
         loop ()
@@ -293,14 +297,16 @@ let take_batch t =
 
 let replicator_loop t epoch =
   let cfg = t.cfg in
-  let pipeline_depth = 8 in
+  (* bound on concurrently outstanding commit rounds (quorum waits); the
+     per-follower wire window is Config.pipeline_depth in the senders *)
+  let rounds_window = 8 in
   let rec loop () =
     if alive t && t.role = Leader && t.epoch = epoch then begin
       if Queue.is_empty t.pending_q then
         ignore
           (Depfast.Condvar.wait_timeout t.sched t.work_cv cfg.Config.group_commit_window);
       if alive t && t.role = Leader && t.epoch = epoch then begin
-        if t.rounds_inflight >= pipeline_depth then begin
+        if t.rounds_inflight >= rounds_window then begin
           (* backpressure: bound the number of in-flight rounds *)
           ignore (Depfast.Condvar.wait_timeout t.sched t.round_cv cfg.Config.rpc_timeout);
           loop ()
@@ -327,8 +333,10 @@ let replicator_loop t epoch =
                 batch
             in
             let n = List.length entries in
+            (* zero-copy path: the round's serial work is the WAL encode
+               only — no wire-buffer marshal (the senders ship views) *)
             cpu_work t
-              (cfg.Config.cost_round_fixed + (n * cfg.Config.cost_marshal_entry));
+              (cfg.Config.cost_round_fixed + (n * cfg.Config.cost_wal_entry));
             let last = Rlog.last_index t.rlog in
             let bytes = entries_bytes entries + (n * cfg.Config.wal_entry_overhead) in
             let wal_ev = wal_append t ~bytes in
@@ -432,7 +440,7 @@ let reset_follower_state t =
           next_index = Rlog.last_index t.rlog + 1;
           match_index = 0;
           sent_index = Rlog.last_index t.rlog;
-          in_flight_bytes = 0;
+          inflight = 0;
           last_send = Time.zero;
           last_ack = now t;
           progress_cv = Depfast.Condvar.create ~label:"progress" ();
@@ -624,6 +632,8 @@ let handle_request_vote t ~term ~candidate ~last_log_index ~last_log_term ~trans
     Vote_resp { term = t.term; granted }
   end
 
+(* [entries] here is already materialized from the shipped view — see the
+   dispatch in [handle] *)
 let handle_append_entries t ~term ~leader ~prev_index ~prev_term ~entries ~commit =
   (* the replication stream is processed serially, in delivery order (a
      retransmitted message must not race its successor) *)
@@ -634,7 +644,7 @@ let handle_append_entries t ~term ~leader ~prev_index ~prev_term ~entries ~commi
      cost of processing one message is part of that critical section *)
   cpu_work t
     (cfg.Config.cost_follower_fixed
-    + (Array.length entries * cfg.Config.cost_follower_entry));
+    + (Array.length entries * cfg.Config.cost_follower_entry_view));
   if term < t.term then Append_resp { term = t.term; success = false; match_index = 0 }
   else begin
     if term > t.term || t.role <> Follower then step_down t term ~leader:(Some leader);
@@ -678,13 +688,14 @@ let handle_append_entries t ~term ~leader ~prev_index ~prev_term ~entries ~commi
 
 let handle_client_request t ~cmd ~client_id ~seq =
   let cfg = t.cfg in
-  cpu_work t cfg.Config.cost_client_parse;
+  (* pooled connection path: direct-indexed slot, no per-request closure *)
+  cpu_work t cfg.Config.cost_client_parse_pooled;
   if t.role <> Leader then
     Client_resp { ok = false; leader_hint = t.leader; value = None }
   else begin
     let p = enqueue t ~cmd ~client:client_id ~seq in
     let outcome = Depfast.Sched.wait_timeout t.sched p.p_done cfg.Config.client_timeout in
-    cpu_work t cfg.Config.cost_client_reply;
+    cpu_work t cfg.Config.cost_client_reply_pooled;
     match outcome with
     | Depfast.Sched.Ready ->
       Client_resp { ok = p.p_ok; leader_hint = Some (id t); value = p.p_value }
@@ -722,8 +733,15 @@ let handle t ~src:_ (req : Types.req) : Types.resp option =
     Some
       (handle_request_vote t ~term ~candidate ~last_log_index ~last_log_term ~transfer
          ~prevote)
-  | Append_entries { term; leader; prev_index; prev_term; entries; commit } ->
-    Some (handle_append_entries t ~term ~leader ~prev_index ~prev_term ~entries ~commit)
+  | Append_entries { term; leader; prev_index; prev_term; entries; commit } -> (
+    (* materialize the shipped view — the one copy on the replication path,
+       paid by the receiver. A stale view means the sender truncated after
+       shipping (a deposed leader): the wire copy never happened, so the
+       message is simply lost — no response, always safe for Raft *)
+    match Types.view_materialize entries with
+    | None -> None
+    | Some entries ->
+      Some (handle_append_entries t ~term ~leader ~prev_index ~prev_term ~entries ~commit))
   | Client_request { cmd; client_id; seq } ->
     Some (handle_client_request t ~cmd ~client_id ~seq)
   | Transfer_leadership { target } ->

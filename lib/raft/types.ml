@@ -25,6 +25,43 @@ type entry = {
 }
 [@@deriving show { with_path = false }, eq]
 
+(** A zero-copy window into a log's backing store — what AppendEntries
+    carries on the (simulated) wire instead of an [Array.sub] copy. The
+    window stays valid as long as the producing log has not truncated:
+    [v_live] is the log's generation cell, bumped on every truncation, and
+    a mismatch with [v_gen] marks the view stale. Appends and backing-array
+    growth never invalidate a view (growth blits the prefix; the view holds
+    the old store). Consumers materialize with {!view_materialize}. *)
+type eview = {
+  v_store : entry array;  (** the log's backing array when the view was cut *)
+  v_off : int;  (** 0-based offset into [v_store] *)
+  v_len : int;
+  v_gen : int;  (** producing log's generation at creation *)
+  v_live : int ref;  (** the log's live generation cell *)
+}
+
+let pp_eview fmt v =
+  Format.fprintf fmt "<view %d entries @@%d gen %d%s>" v.v_len v.v_off v.v_gen
+    (if !(v.v_live) = v.v_gen then "" else " STALE")
+
+let show_eview v = Format.asprintf "%a" pp_eview v
+
+let view_of_array a =
+  (* a self-owned copy wrapped as a view (always valid): the path baseline
+     systems take — they still pay the copy this wrapper carries *)
+  { v_store = a; v_off = 0; v_len = Array.length a; v_gen = 0; v_live = ref 0 }
+
+let view_len v = v.v_len
+let view_valid v = !(v.v_live) = v.v_gen
+
+let view_materialize v =
+  (* [None] when the producer truncated after the view was cut: the send
+     buffer was reclaimed before the (simulated) NIC shipped it, so the
+     message is treated as lost — always safe for AppendEntries *)
+  if not (view_valid v) then None
+  else if v.v_len = 0 then Some [||]
+  else Some (Array.sub v.v_store v.v_off v.v_len)
+
 (** Requests. The RSM uses one RPC channel for peer and client traffic,
     like real systems sharing a port. *)
 type req =
@@ -45,7 +82,9 @@ type req =
       leader : int;
       prev_index : index;
       prev_term : term;
-      entries : entry array;  (** sliced straight out of the leader's log *)
+      entries : eview;
+          (** zero-copy view into the sender's log; the receiver
+              materializes (and a stale view is a lost message) *)
       commit : index;
     }
   | Client_request of { cmd : command; client_id : int; seq : int }
@@ -80,3 +119,11 @@ let entry_bytes e =
 
 let entries_bytes es = List.fold_left (fun acc e -> acc + entry_bytes e) 0 es
 let entries_bytes_a es = Array.fold_left (fun acc e -> acc + entry_bytes e) 0 es
+
+(* wire/WAL size of a view's window, without materializing it *)
+let view_bytes v =
+  let acc = ref 0 in
+  for i = v.v_off to v.v_off + v.v_len - 1 do
+    acc := !acc + entry_bytes (Array.unsafe_get v.v_store i)
+  done;
+  !acc

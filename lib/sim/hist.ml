@@ -1,6 +1,11 @@
 (* Logarithmic bucketing: values < 64 are exact; above that, each power of
    two is split into 32 sub-buckets (top 6 significant bits), giving <= ~3%
-   relative quantile error, plenty for latency reporting. *)
+   relative quantile error, plenty for latency reporting.
+
+   [add] is O(1) and allocation-free: the running sum / sum-of-squares live
+   in a flat float array (unboxed stores — a mutable float field in a mixed
+   record would box on every assignment), and the msb is found by a
+   five-step branchless binary search rather than a shift loop. *)
 
 let sub = 64
 let max_exp = 62
@@ -9,8 +14,7 @@ let nbuckets = sub + ((max_exp - 6 + 1) * 32)
 type t = {
   buckets : int array;
   mutable count : int;
-  mutable sum : float;
-  mutable sumsq : float;
+  sums : float array;  (* [| sum; sum of squares |], kept unboxed *)
   mutable min_v : int;
   mutable max_v : int;
 }
@@ -19,16 +23,39 @@ let create () =
   {
     buckets = Array.make nbuckets 0;
     count = 0;
-    sum = 0.0;
-    sumsq = 0.0;
+    sums = Array.make 2 0.0;
     min_v = max_int;
     max_v = 0;
   }
 
+(* position of most significant set bit; v > 0. Binary search over the bit
+   ranges: 5 well-predicted compares instead of up to 62 loop iterations
+   (values here are microsecond spans, so v < 2^32 after the first step). *)
 let msb v =
-  (* position of most significant set bit; v > 0 *)
-  let rec go v acc = if v = 1 then acc else go (v lsr 1) (acc + 1) in
-  go v 0
+  let k = ref 0 in
+  let v = ref v in
+  if !v >= 1 lsl 32 then begin
+    k := !k + 32;
+    v := !v lsr 32
+  end;
+  if !v >= 1 lsl 16 then begin
+    k := !k + 16;
+    v := !v lsr 16
+  end;
+  if !v >= 1 lsl 8 then begin
+    k := !k + 8;
+    v := !v lsr 8
+  end;
+  if !v >= 1 lsl 4 then begin
+    k := !k + 4;
+    v := !v lsr 4
+  end;
+  if !v >= 1 lsl 2 then begin
+    k := !k + 2;
+    v := !v lsr 2
+  end;
+  if !v >= 2 then k := !k + 1;
+  !k
 
 let index_of v =
   if v < sub then v
@@ -46,24 +73,25 @@ let upper_bound_of idx =
 
 let add t v =
   let v = if v < 0 then 0 else v in
-  t.buckets.(index_of v) <- t.buckets.(index_of v) + 1;
+  let i = index_of v in
+  Array.unsafe_set t.buckets i (Array.unsafe_get t.buckets i + 1);
   t.count <- t.count + 1;
   let f = float_of_int v in
-  t.sum <- t.sum +. f;
-  t.sumsq <- t.sumsq +. (f *. f);
+  Array.unsafe_set t.sums 0 (Array.unsafe_get t.sums 0 +. f);
+  Array.unsafe_set t.sums 1 (Array.unsafe_get t.sums 1 +. (f *. f));
   if v < t.min_v then t.min_v <- v;
   if v > t.max_v then t.max_v <- v
 
 let count t = t.count
 let min_value t = if t.count = 0 then 0 else t.min_v
 let max_value t = t.max_v
-let mean t = if t.count = 0 then 0.0 else t.sum /. float_of_int t.count
+let mean t = if t.count = 0 then 0.0 else t.sums.(0) /. float_of_int t.count
 
 let stddev t =
   if t.count = 0 then 0.0
   else
     let m = mean t in
-    let var = (t.sumsq /. float_of_int t.count) -. (m *. m) in
+    let var = (t.sums.(1) /. float_of_int t.count) -. (m *. m) in
     sqrt (Float.max 0.0 var)
 
 let quantile t q =
@@ -91,8 +119,8 @@ let merge a b =
   Array.blit a.buckets 0 t.buckets 0 nbuckets;
   Array.iteri (fun i v -> t.buckets.(i) <- t.buckets.(i) + v) b.buckets;
   t.count <- a.count + b.count;
-  t.sum <- a.sum +. b.sum;
-  t.sumsq <- a.sumsq +. b.sumsq;
+  t.sums.(0) <- a.sums.(0) +. b.sums.(0);
+  t.sums.(1) <- a.sums.(1) +. b.sums.(1);
   t.min_v <- min a.min_v b.min_v;
   t.max_v <- max a.max_v b.max_v;
   t
@@ -100,8 +128,8 @@ let merge a b =
 let clear t =
   Array.fill t.buckets 0 nbuckets 0;
   t.count <- 0;
-  t.sum <- 0.0;
-  t.sumsq <- 0.0;
+  t.sums.(0) <- 0.0;
+  t.sums.(1) <- 0.0;
   t.min_v <- max_int;
   t.max_v <- 0
 

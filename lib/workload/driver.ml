@@ -20,7 +20,10 @@ let run sched ~clients ~workload ~warmup ~duration ?leader_node () =
               let t0 = Engine.now engine in
               let ok = c.run_op op in
               let t1 = Engine.now engine in
-              if t1 >= measure_from && t1 < t_end then
+              (* count only ops that ran entirely inside the window: an op
+                 started during warmup but completing after [measure_from]
+                 would otherwise be recorded with warmup-inflated latency *)
+              if t0 >= measure_from && t1 < t_end then
                 if ok then begin
                   incr completed;
                   Hist.add hist (Time.diff t1 t0)

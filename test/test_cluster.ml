@@ -181,6 +181,73 @@ let test_net_nic_delay () =
   Depfast.Sched.run s;
   check_int "tc delay applied" (Sim.Time.ms 400 + 100) !at
 
+(* a burst of messages with random latencies must still arrive in send
+   order on each directed link (the pooled outbox preserves the FIFO
+   clamp), with per-link stats accounting every message *)
+let test_net_fifo_pooled_burst () =
+  let s = make_sched () in
+  let net = Cluster.Net.create s ~latency:(Sim.Dist.Exponential 50.0) () in
+  let a = Cluster.Node.create s ~id:0 ~name:"a" () in
+  let b = Cluster.Node.create s ~id:1 ~name:"b" () in
+  let got = ref [] in
+  Cluster.Net.register net a ~handler:(fun ~src:_ _ -> ());
+  Cluster.Net.register net b ~handler:(fun ~src:_ m -> got := m :: !got);
+  for i = 1 to 200 do
+    Cluster.Net.send net ~units:10 ~src:0 ~dst:1 i
+  done;
+  Depfast.Sched.run s;
+  Alcotest.(check (list int)) "send order preserved" (List.init 200 (fun i -> i + 1))
+    (List.rev !got);
+  let st = Cluster.Net.stats net ~src:0 ~dst:1 in
+  check_int "link delivered" 200 st.Cluster.Net.delivered;
+  check_int "link dropped" 0 st.Cluster.Net.dropped;
+  check_int "link units" 2000 st.Cluster.Net.units;
+  check_int "reverse link untouched" 0 (Cluster.Net.stats net ~src:1 ~dst:0).Cluster.Net.delivered
+
+(* partition installed while a message is in flight drops it at arrival
+   time; messages sent while partitioned drop at send time; after heal the
+   link resumes in order *)
+let test_net_partition_heal_mid_flight () =
+  let s = make_sched () in
+  let net = Cluster.Net.create s ~latency:(Sim.Dist.Constant 100.0) () in
+  let a = Cluster.Node.create s ~id:0 ~name:"a" () in
+  let b = Cluster.Node.create s ~id:1 ~name:"b" () in
+  let got = ref [] in
+  Cluster.Net.register net a ~handler:(fun ~src:_ _ -> ());
+  Cluster.Net.register net b ~handler:(fun ~src:_ m -> got := m :: !got);
+  let engine = Depfast.Sched.engine s in
+  Cluster.Net.send net ~src:0 ~dst:1 "in-flight";
+  ignore
+    (Sim.Engine.schedule engine ~delay:50 (fun () -> Cluster.Net.partition net 0 1));
+  ignore
+    (Sim.Engine.schedule engine ~delay:150 (fun () ->
+         Cluster.Net.send net ~src:0 ~dst:1 "while-cut"));
+  ignore
+    (Sim.Engine.schedule engine ~delay:200 (fun () ->
+         Cluster.Net.heal net 0 1;
+         Cluster.Net.send net ~src:0 ~dst:1 "after-heal"));
+  Depfast.Sched.run s;
+  Alcotest.(check (list string)) "only post-heal delivered" [ "after-heal" ] (List.rev !got);
+  let st = Cluster.Net.stats net ~src:0 ~dst:1 in
+  check_int "link delivered" 1 st.Cluster.Net.delivered;
+  check_int "link dropped" 2 st.Cluster.Net.dropped;
+  let tot = Cluster.Net.totals net in
+  check_int "totals delivered" 1 tot.Cluster.Net.delivered;
+  check_int "totals dropped" 2 tot.Cluster.Net.dropped
+
+let test_net_nodes_cached_sorted () =
+  let s = make_sched () in
+  let net = Cluster.Net.create s () in
+  let mk id = Cluster.Node.create s ~id ~name:(Printf.sprintf "n%d" id) () in
+  List.iter
+    (fun id -> Cluster.Net.register net (mk id) ~handler:(fun ~src:_ () -> ()))
+    [ 5; 1; 3 ];
+  let ids () = List.map Cluster.Node.id (Cluster.Net.nodes net) in
+  check_bool "sorted" true (ids () = [ 1; 3; 5 ]);
+  check_bool "cached list reused" true (Cluster.Net.nodes net == Cluster.Net.nodes net);
+  ignore (Cluster.Net.register net (mk 2) ~handler:(fun ~src:_ () -> ()));
+  check_bool "cache refreshed after register" true (ids () = [ 1; 2; 3; 5 ])
+
 (* ------------------------------------------------------------------ *)
 (* RPC *)
 
@@ -370,6 +437,10 @@ let suite =
         Alcotest.test_case "partition" `Quick test_net_partition_drops;
         Alcotest.test_case "dead node" `Quick test_net_dead_node_drops;
         Alcotest.test_case "nic delay (tc)" `Quick test_net_nic_delay;
+        Alcotest.test_case "pooled FIFO burst + stats" `Quick test_net_fifo_pooled_burst;
+        Alcotest.test_case "partition/heal mid-flight" `Quick
+          test_net_partition_heal_mid_flight;
+        Alcotest.test_case "nodes cached sorted" `Quick test_net_nodes_cached_sorted;
       ] );
     ( "cluster.rpc",
       [

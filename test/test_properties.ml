@@ -56,6 +56,23 @@ let test_rlog_slice_coherent =
              s
              (List.init (List.length s) Fun.id))
 
+(* a view over any window materializes to exactly the copying slice *)
+let test_rlog_view_matches_slice =
+  QCheck.Test.make ~name:"rlog view materializes to the slice" ~count:200
+    QCheck.(triple (int_range 1 100) (int_range 1 120) (int_range 1 50))
+    (fun (len, from, max_n) ->
+      let log = Raft.Rlog.create () in
+      for i = 1 to len do
+        Raft.Rlog.append log
+          { term = 1; index = i; cmd = Raft.Types.Nop; client_id = -1; seq = 0 }
+      done;
+      let v = Raft.Rlog.view log ~from ~max:max_n in
+      Raft.Rlog.View.valid v
+      &&
+      match Raft.Types.view_materialize v with
+      | Some a -> a = Raft.Rlog.slice_array log ~from ~max:max_n
+      | None -> false)
+
 (* ------------------------------------------------------------------ *)
 (* KV sessions: replaying any prefix of a command stream never double-
    applies *)
@@ -306,6 +323,7 @@ let suite =
       [
         QCheck_alcotest.to_alcotest test_rlog_model;
         QCheck_alcotest.to_alcotest test_rlog_slice_coherent;
+        QCheck_alcotest.to_alcotest test_rlog_view_matches_slice;
         QCheck_alcotest.to_alcotest test_kv_exactly_once;
         QCheck_alcotest.to_alcotest test_net_fifo_property;
         QCheck_alcotest.to_alcotest test_event_algebra;

@@ -169,6 +169,104 @@ let test_leadership_transfer () =
       check_bool "writes still work" true (Raft.Client.put client ~key:"y" ~value:"2"))
 
 (* ------------------------------------------------------------------ *)
+(* Zero-copy log views *)
+
+let mk_entry i : Raft.Types.entry =
+  { term = 1; index = i; cmd = Raft.Types.Nop; client_id = -1; seq = 0 }
+
+let test_rlog_view_generation () =
+  let log = Raft.Rlog.create ~capacity:8 () in
+  for i = 1 to 6 do
+    Raft.Rlog.append log (mk_entry i)
+  done;
+  let v = Raft.Rlog.view log ~from:2 ~max:3 in
+  check_int "view length" 3 (Raft.Rlog.View.length v);
+  check_bool "valid when cut" true (Raft.Rlog.View.valid v);
+  check_bool "bytes positive" true (Raft.Rlog.View.bytes v > 0);
+  (* growing the backing store does NOT invalidate: the view keeps reading
+     the store it was cut from, whose prefix is unchanged *)
+  for i = 7 to 20 do
+    Raft.Rlog.append log (mk_entry i)
+  done;
+  check_bool "valid after growth" true (Raft.Rlog.View.valid v);
+  (match Raft.Types.view_materialize v with
+  | Some a ->
+    check_int "materialized length" 3 (Array.length a);
+    check_int "first index" 2 a.(0).Raft.Types.index
+  | None -> Alcotest.fail "view unexpectedly stale");
+  (* any truncation bumps the generation and invalidates every outstanding
+     view, even one whose window the truncation did not touch: the slots it
+     references may be blanked or re-appended over *)
+  let gen0 = Raft.Rlog.generation log in
+  Raft.Rlog.truncate_from log 10;
+  check_bool "generation bumped" true (Raft.Rlog.generation log > gen0);
+  check_bool "stale after truncate" false (Raft.Rlog.View.valid v);
+  check_bool "materialize refuses" true (Raft.Types.view_materialize v = None);
+  (match Raft.Rlog.View.bytes v with
+  | exception Raft.Rlog.View.Stale -> ()
+  | _ -> Alcotest.fail "View.bytes must raise Stale");
+  (* a view cut after the truncation is valid again *)
+  let v2 = Raft.Rlog.view log ~from:1 ~max:100 in
+  check_bool "fresh view valid" true (Raft.Rlog.View.valid v2);
+  check_int "fresh view length" 9 (Raft.Rlog.View.length v2)
+
+(* divergent uncommitted suffix: the deposed leader's log must be rewound
+   and overwritten once the new leader's sender gets its consistency
+   rejects — the pipeline window rewind path *)
+let test_pipeline_rewind_after_reject () =
+  let sched = make_env () in
+  let g = Raft.Group.create sched ~n:3 () in
+  let clients = Raft.Group.make_clients g ~count:2 () in
+  let c1 = List.hd clients and c2 = List.nth clients 1 in
+  in_coroutine sched (fun () ->
+      let old_leader = Option.get (Raft.Group.wait_for_leader g ()) in
+      let lid = Raft.Server.id old_leader in
+      check_bool "initial put" true (Raft.Client.put c1 ~key:"a" ~value:"1");
+      let others = List.filter (fun s -> Raft.Server.id s <> lid) g.servers in
+      List.iter (fun s -> Cluster.Rpc.partition g.rpc lid (Raft.Server.id s)) others;
+      (* this write reaches only the isolated leader: it is appended (and
+         shipped as views into the void) but can never commit *)
+      Depfast.Sched.spawn sched ~name:"doomed-put" (fun () ->
+          ignore (Raft.Client.put c2 ~key:"doomed" ~value:"x"));
+      Depfast.Sched.sleep sched (Sim.Time.sec 2);
+      let div_idx = Raft.Rlog.last_index (Raft.Server.log old_leader) in
+      check_bool "old leader diverged" true
+        (div_idx > Raft.Server.commit_index old_leader);
+      let doomed = Option.get (Raft.Rlog.get (Raft.Server.log old_leader) div_idx) in
+      check_bool "majority side elected" true
+        (List.exists (fun s -> Raft.Server.is_leader s) others);
+      (* commit past the divergence point on the majority side *)
+      check_bool "put b" true (Raft.Client.put c1 ~key:"b" ~value:"2");
+      check_bool "put c" true (Raft.Client.put c1 ~key:"c" ~value:"3");
+      List.iter (fun s -> Cluster.Rpc.heal g.rpc lid (Raft.Server.id s)) others;
+      Depfast.Sched.sleep sched (Sim.Time.sec 2);
+      (* the new leader's first ship to the deposed leader was rejected on
+         the prev check; the sender rewound its in-flight window and backed
+         off next_index until the logs matched, then overwrote the
+         divergent suffix. (The deposed leader may since have won a later
+         election — what matters is that everyone converged.) *)
+      check_bool "caught up past divergence" true
+        (Raft.Server.commit_index old_leader >= div_idx);
+      (match Raft.Rlog.get (Raft.Server.log old_leader) div_idx with
+      | Some e ->
+        check_bool "divergent entry overwritten" false (Raft.Types.equal_entry doomed e)
+      | None -> Alcotest.fail "missing entry at divergence index");
+      let min_commit =
+        List.fold_left (fun m s -> min m (Raft.Server.commit_index s)) max_int g.servers
+      in
+      check_bool "all committed past divergence" true (min_commit >= div_idx);
+      let reference = Raft.Server.log (List.hd g.servers) in
+      for i = 1 to min_commit do
+        let e0 = Option.get (Raft.Rlog.get reference i) in
+        List.iter
+          (fun s ->
+            match Raft.Rlog.get (Raft.Server.log s) i with
+            | Some e when Raft.Types.equal_entry e e0 -> ()
+            | _ -> Alcotest.fail (Printf.sprintf "logs disagree at %d" i))
+          g.servers
+      done)
+
+(* ------------------------------------------------------------------ *)
 (* Safety properties under randomized fault schedules *)
 
 let safety_run seed =
@@ -252,6 +350,9 @@ let suite =
         Alcotest.test_case "leader crash re-election" `Quick test_leader_crash_reelection;
         Alcotest.test_case "partition and heal" `Quick test_partition_minority_blocks;
         Alcotest.test_case "leadership transfer" `Quick test_leadership_transfer;
+        Alcotest.test_case "rlog view generation" `Quick test_rlog_view_generation;
+        Alcotest.test_case "pipeline rewind after reject" `Quick
+          test_pipeline_rewind_after_reject;
       ] );
     ( "raft.safety",
       [ Alcotest.test_case "randomized partitions" `Slow test_safety_randomized ] );

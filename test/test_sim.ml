@@ -165,6 +165,36 @@ let test_hist_quantile_vs_sorted =
       (* log-bucket relative error bound: <= 1/32 plus rounding *)
       approx >= exact && float_of_int approx <= (float_of_int exact *. 1.04) +. 1.0)
 
+(* mirror of the histogram's log bucketing: exact below 64, then 32
+   sub-buckets per power of two *)
+let bucket_of v =
+  if v < 64 then v
+  else begin
+    let k = ref 0 and x = ref v in
+    while !x > 1 do
+      incr k;
+      x := !x lsr 1
+    done;
+    64 + ((!k - 6) * 32) + ((v lsr (!k - 5)) - 32)
+  end
+
+let test_hist_quantile_within_one_bucket =
+  QCheck.Test.make ~name:"hist quantile within one bucket of sort-based reference"
+    ~count:300
+    QCheck.(
+      pair (list_of_size Gen.(int_range 1 400) (int_bound 5_000_000)) (float_range 0.01 1.0))
+    (fun (values, q) ->
+      let h = Hist.create () in
+      List.iter (Hist.add h) values;
+      (* the old sort-based implementation: q-th order statistic *)
+      let sorted = Array.of_list values in
+      Array.sort compare sorted;
+      let n = Array.length sorted in
+      let idx = min (n - 1) (max 0 (int_of_float (ceil (q *. float_of_int n)) - 1)) in
+      let exact = sorted.(idx) in
+      let approx = Hist.quantile h q in
+      abs (bucket_of approx - bucket_of exact) <= 1)
+
 let test_hist_merge () =
   let a = Hist.create () and b = Hist.create () in
   List.iter (Hist.add a) [ 1; 2; 3 ];
@@ -335,6 +365,7 @@ let suite =
         Alcotest.test_case "merge" `Quick test_hist_merge;
         Alcotest.test_case "clear" `Quick test_hist_clear;
         QCheck_alcotest.to_alcotest test_hist_quantile_vs_sorted;
+        QCheck_alcotest.to_alcotest test_hist_quantile_within_one_bucket;
       ] );
     ( "sim.heap",
       [

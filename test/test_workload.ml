@@ -241,6 +241,34 @@ let test_driver_warmup_excluded () =
   (* ~100 ops issued total but only ~50 fall in the measured window *)
   check_bool "warmup excluded" true (m.Workload.Metrics.completed < !ops)
 
+let test_driver_boundary_op_excluded () =
+  let s = make_sched () in
+  let node = Cluster.Node.create s ~id:0 ~name:"client" () in
+  let first = ref true in
+  let client =
+    {
+      Workload.Driver.node;
+      run_op =
+        (fun _ ->
+          (* the first op starts at t=0 (during warmup) and completes at
+             t=600ms, inside the measurement window; later ops take 1ms *)
+          let d = if !first then Sim.Time.ms 600 else Sim.Time.ms 1 in
+          first := false;
+          Depfast.Sched.sleep s d;
+          true);
+    }
+  in
+  let m =
+    Workload.Driver.run s ~clients:[ client ]
+      ~workload:(Workload.Ycsb.scaled ~records:100 Workload.Ycsb.update_heavy)
+      ~warmup:(Sim.Time.ms 500) ~duration:(Sim.Time.ms 500) ()
+  in
+  check_bool "completed some" true (m.Workload.Metrics.completed > 0);
+  (* the straddling op must not be recorded with its warmup-inflated
+     latency: everything in the histogram is a ~1ms op *)
+  check_bool "no warmup-inflated latency" true
+    (Sim.Hist.max_value m.Workload.Metrics.latency < Sim.Time.ms 10)
+
 let suite =
   [
     ( "depfast.condvar",
@@ -273,5 +301,6 @@ let suite =
         Alcotest.test_case "closed loop" `Quick test_driver_closed_loop;
         Alcotest.test_case "failures counted" `Quick test_driver_counts_failures;
         Alcotest.test_case "warmup excluded" `Quick test_driver_warmup_excluded;
+        Alcotest.test_case "boundary op excluded" `Quick test_driver_boundary_op_excluded;
       ] );
   ]
