@@ -22,6 +22,8 @@ let trace_cmp : (float * float) option ref = ref None
 let lint_stats : (int * float * int) option ref = ref None  (* files, wall ms, findings *)
 let macro_stats : (float * float * float * float) option ref = ref None
 (* tput, p50 ms, p99 ms, leader cpu *)
+let check_stats : (int * int * float * int) option ref = ref None
+(* schedules, pruned, wall ms, findings *)
 
 (* static-analysis probe: wall time of the per-file lint plus the
    whole-project interprocedural pass over the library sources — the
@@ -67,6 +69,45 @@ let run_fig1_json quick =
     off on
     (100.0 *. on /. off)
 
+(* schedule-space probe: the gating scenario registry under its default
+   per-scenario budgets, certificates included when the sources are
+   reachable — the explored-schedule count and wall time the checker is
+   accountable to (DESIGN.md §"Schedule-space checking") *)
+let run_check_json () =
+  (* start from a compacted heap so the probe measures the checker, not
+     the GC debt of whatever ran before it (the smoke rule also orders
+     this probe before the bechamel run, whose measurement loops leave
+     the allocator in a state that inflates re-execution wall time) *)
+  Gc.compact ();
+  let certs =
+    match List.find_opt Sys.file_exists [ "../lib"; "lib" ] with
+    | None -> None
+    | Some root -> Some (Check.Certificate.build ~roots:[ root ] ())
+  in
+  let t0 = Unix.gettimeofday () in
+  let results =
+    List.map
+      (fun (sc : Check.Scenario.t) ->
+        let budget =
+          {
+            Check.Explore.default_budget with
+            Check.Explore.max_schedules = sc.Check.Scenario.default_schedules;
+          }
+        in
+        Check.Explore.explore ~budget ?certs sc)
+      Check.Registry.gating_scenarios
+  in
+  let ms = (Unix.gettimeofday () -. t0) *. 1000.0 in
+  let schedules = List.fold_left (fun a r -> a + r.Check.Explore.schedules) 0 results in
+  let pruned = List.fold_left (fun a r -> a + r.Check.Explore.pruned) 0 results in
+  let findings =
+    List.fold_left (fun a r -> a + List.length r.Check.Explore.findings) 0 results
+  in
+  check_stats := Some (schedules, pruned, ms, findings);
+  Printf.printf
+    "check probe: %d schedule(s) explored, %d pruned, %d finding(s) in %.0f ms\n%!"
+    schedules pruned findings ms
+
 (* macro throughput probe: the fig1-shaped healthy cell (3-replica
    DepFastRaft under the closed-loop YCSB-style write workload, no fault
    injected) — the replication-path number the zero-copy/pooled/pipelined
@@ -95,20 +136,28 @@ let run_experiment ~json quick = function
   | "ablation" -> Harness.Ablation.print ~params:(params quick) ()
   | "mitigation" -> Harness.Mitigation.print ~params:(params quick) ()
   | "micro" ->
+    (* bechamel's stabilization sets Gc.max_overhead (compaction off)
+       and never restores it; put the parameters back afterwards *)
+    let gc = Gc.get () in
     let rs = Micro.results () in
+    Gc.set gc;
     if json then micro_results := rs;
     Micro.print rs
   | "lint" -> run_lint_json ()
   | "macro" -> run_macro_json quick
+  | "check" -> run_check_json ()
   | other ->
     Printf.eprintf
       "unknown experiment %S (expected \
-       table1|fig1|fig2|fig3|ablation|mitigation|micro|lint|macro)\n"
+       table1|fig1|fig2|fig3|ablation|mitigation|micro|lint|macro|check)\n"
       other;
     exit 2
 
 let all =
-  [ "table1"; "fig1"; "fig2"; "fig3"; "ablation"; "mitigation"; "micro"; "lint"; "macro" ]
+  [
+    "table1"; "fig1"; "fig2"; "fig3"; "ablation"; "mitigation"; "micro"; "lint";
+    "macro"; "check";
+  ]
 
 (* hand-rolled JSON: two flat sections, no escaping needed beyond labels
    (which are ASCII without quotes/backslashes) *)
@@ -147,6 +196,14 @@ let write_json path =
       (Printf.sprintf
          ",\n  \"lint\": {\"files\": %d, \"wall_ms\": %.2f, \"findings\": %d}" files ms
          findings)
+  | None -> ());
+  (match !check_stats with
+  | Some (schedules, pruned, ms, findings) ->
+    Buffer.add_string buf
+      (Printf.sprintf
+         ",\n  \"check_smoke\": {\"schedules\": %d, \"pruned\": %d, \"wall_ms\": %.2f, \
+          \"findings\": %d}"
+         schedules pruned ms findings)
   | None -> ());
   Buffer.add_string buf "\n}\n";
   let oc = open_out path in

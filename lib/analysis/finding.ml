@@ -23,6 +23,18 @@ let lock_across_call = "lock-across-call"
 let lock_order_cycle = "lock-order-cycle"
 let quorum_arity_mismatch = "quorum-arity-mismatch"
 
+(* dynamic rules, reported by the schedule-space checker (lib/check) *)
+let lost_wakeup = "lost-wakeup"
+let double_wake = "double-wake"
+let parked_on_abandoned = "parked-on-abandoned"
+let unsatisfiable_wait = "unsatisfiable-wait"
+let quorum_overcount = "quorum-overcount"
+let net_fifo_violation = "net-fifo-violation"
+let parked_at_quiescence = "parked-at-quiescence"
+let dynamic_red_wait = "dynamic-red-wait"
+let invariant_violation = "invariant-violation"
+let certificate_mismatch = "certificate-mismatch"
+
 let rules =
   [
     (red_wait, "wait on a single remote completion outside a quorum/or_ wrapper");
@@ -37,6 +49,19 @@ let rules =
     (lock_across_call, "call into a (transitively) suspending function while a Depfast.Mutex is held");
     (lock_order_cycle, "mutex acquisition-order cycle across functions/modules (static deadlock)");
     (quorum_arity_mismatch, "quorum Count k inconsistent with the peer count flowing into it");
+    (lost_wakeup, "coroutine parked on an event that is ready, with no wakeup delivered");
+    (double_wake, "more than one wakeup delivered for a single park");
+    (parked_on_abandoned, "coroutine parked forever on an abandoned event");
+    (unsatisfiable_wait,
+     "coroutine parked on a compound event that can no longer gather enough ready children");
+    (quorum_overcount, "compound event's ready counter disagrees with its children's states");
+    (net_fifo_violation, "messages reordered on a directed network link");
+    (parked_at_quiescence,
+     "coroutine still parked when no work remains — a deadlock or missed signal");
+    (dynamic_red_wait, "a wait observed at run time that one remote node can stall");
+    (invariant_violation, "a scenario's terminal-state invariant does not hold");
+    (certificate_mismatch,
+     "dynamic violation in code the static analyses certified as clean (or vice versa)");
   ]
 
 let v ?(allowed = false) ~rule ~severity ~loc message =
@@ -84,16 +109,27 @@ let to_json f =
     "{%s, \"rule\": \"%s\", \"severity\": \"%s\", \"allowed\": %b, \"message\": \"%s\"}"
     loc_fields (json_escape f.rule) (severity_name f.severity) f.allowed (json_escape f.message)
 
+let severity_rank = function Error -> 0 | Warning -> 1 | Info -> 2
+
 let by_location a b =
-  match (a.loc, b.loc) with
-  | File fa, File fb ->
-    let c = compare fa.file fb.file in
+  let c =
+    match (a.loc, b.loc) with
+    | File fa, File fb ->
+      let c = compare fa.file fb.file in
+      if c <> 0 then c else compare fa.line fb.line
+    | Node na, Node nb -> compare na.event_id nb.event_id
+    | File _, Node _ -> -1
+    | Node _, File _ -> 1
+  in
+  if c <> 0 then c
+  else
+    (* total enough that reporting order cannot depend on discovery
+       order (directory read order, hashtable iteration, ...) *)
+    let c = compare a.rule b.rule in
     if c <> 0 then c
     else
-      let c = compare fa.line fb.line in
-      if c <> 0 then c else compare a.rule b.rule
-  | Node na, Node nb ->
-    let c = compare na.event_id nb.event_id in
-    if c <> 0 then c else compare a.rule b.rule
-  | File _, Node _ -> -1
-  | Node _, File _ -> 1
+      let c = compare (severity_rank a.severity) (severity_rank b.severity) in
+      if c <> 0 then c
+      else
+        let c = compare a.message b.message in
+        if c <> 0 then c else compare a.allowed b.allowed

@@ -60,6 +60,53 @@ val quorum_arity_mismatch : string
     cross-module) exceeds the number of children that statically flow
     into it. *)
 
+(** Dynamic rules, reported by the schedule-space checker ([lib/check])
+    rather than by a static pass. *)
+
+val lost_wakeup : string
+(** A coroutine is parked on an event that is ready, yet no wakeup was
+    delivered — the runtime's park/wake protocol broke. *)
+
+val double_wake : string
+(** More than one wakeup delivered for a single park. *)
+
+val parked_on_abandoned : string
+(** A coroutine parked (with no pending timeout) on an abandoned event:
+    nothing can ever resume it. *)
+
+val unsatisfiable_wait : string
+(** A parked compound wait that can no longer gather enough ready
+    children (e.g. a [Count k] quorum wired to fewer than [k] live
+    children) — the dynamic cousin of {!vacuous_quorum}. *)
+
+val quorum_overcount : string
+(** A compound event's packed ready counter disagrees with a recount of
+    its children — a double-fire or lost decrement. *)
+
+val net_fifo_violation : string
+(** Per-link FIFO broken: a message overtook an earlier one on the same
+    directed link. *)
+
+val parked_at_quiescence : string
+(** A coroutine is still parked when the engine has no work left: nothing
+    can ever resume it. Reported when none of the more specific rules
+    ({!lost_wakeup}, {!parked_on_abandoned}, {!unsatisfiable_wait})
+    explains the hang — e.g. a pending signal nobody is left to fire. *)
+
+val dynamic_red_wait : string
+(** A wait observed at run time whose completion one remote node can
+    stall — [Spg.audit] at a terminal state of an explored schedule. *)
+
+val invariant_violation : string
+(** A scenario's terminal-state invariant (e.g. at most one Raft leader
+    per term, committed log prefixes agree) does not hold. *)
+
+val certificate_mismatch : string
+(** The static wait-structure certificate and the dynamic evidence
+    disagree: a module the static passes certified clean produced a
+    dynamic violation. Either the static analysis missed a flow or the
+    runtime broke an assumption — both are reportable bugs. *)
+
 val rules : (string * string) list
 (** All rule ids with one-line descriptions. *)
 
@@ -80,5 +127,10 @@ val gating : strict:bool -> t list -> t list
 val to_json : t -> string
 (** One finding as a JSON object (single line, fields escaped). *)
 
+val json_escape : string -> string
+(** Escape a string for embedding in a JSON literal. *)
+
 val by_location : t -> t -> int
-(** Comparator for stable reporting order (file, line, rule). *)
+(** Comparator for stable reporting order: (file, line, rule, severity,
+    message) — total enough that sorted output cannot depend on the order
+    sources were discovered in. *)

@@ -1,0 +1,91 @@
+(* Static wait-structure certificates: which source files did the static
+   passes (per-file lint + whole-project interprocedural analysis) certify
+   as free of fail-slow wait hazards? The schedule explorer cross-checks
+   these against its dynamic evidence: a dynamic violation inside a
+   certified-clean module means one of the two analyses is wrong — either
+   the static pass missed a flow or the runtime broke an assumption — and
+   is reported as [certificate-mismatch]. *)
+
+(* the static rules that speak about wait structure *)
+let wait_rules =
+  Analysis.Finding.
+    [
+      red_wait;
+      cross_module_red_wait;
+      unbounded_wait;
+      degenerate_quorum;
+      vacuous_quorum;
+      quorum_arity_mismatch;
+      orphan_wait;
+    ]
+
+type t = {
+  files : (string, unit) Hashtbl.t;  (* every file covered by the certificate *)
+  flagged : (string, unit) Hashtbl.t;  (* files with an unallowed wait finding *)
+}
+
+let of_findings ~files findings =
+  let t = { files = Hashtbl.create 64; flagged = Hashtbl.create 16 } in
+  List.iter (fun f -> Hashtbl.replace t.files f ()) files;
+  List.iter
+    (fun (f : Analysis.Finding.t) ->
+      if (not f.Analysis.Finding.allowed) && List.mem f.Analysis.Finding.rule wait_rules
+      then
+        match f.Analysis.Finding.loc with
+        | Analysis.Finding.File { file; _ } -> Hashtbl.replace t.flagged file ()
+        | Analysis.Finding.Node _ -> ())
+    findings;
+  t
+
+let read_file path =
+  let ic = open_in_bin path in
+  let len = in_channel_length ic in
+  let src = really_input_string ic len in
+  close_in ic;
+  src
+
+let rec walk acc path =
+  if Sys.is_directory path then
+    Sys.readdir path |> Array.to_list |> List.sort compare
+    |> List.fold_left
+         (fun acc entry ->
+           if entry = "_build" || entry = ".git" then acc
+           else walk acc (Filename.concat path entry))
+         acc
+  else if Filename.check_suffix path ".ml" then path :: acc
+  else acc
+
+let build ~roots () =
+  let files = List.rev (List.fold_left walk [] roots) in
+  let sources = List.map (fun p -> (p, read_file p)) files in
+  let findings =
+    Analysis.Interproc.analyze_sources sources
+    @ List.concat_map
+        (fun (p, src) -> Analysis.Source_lint.lint_string ~path:p src)
+        sources
+  in
+  of_findings ~files findings
+
+(* Paths from different origins (repo-relative, test-sandbox-relative,
+   absolute) are matched on their suffix: "lib/check/fixtures.ml" matches
+   "../lib/check/fixtures.ml". *)
+let suffix_matches ~path ~suffix =
+  path = suffix
+  || (let lp = String.length path and ls = String.length suffix in
+      lp > ls
+      && String.sub path (lp - ls) ls = suffix
+      && path.[lp - ls - 1] = '/')
+
+let mem_by_suffix tbl file =
+  Hashtbl.fold
+    (fun path () acc ->
+      acc || suffix_matches ~path ~suffix:file || suffix_matches ~path:file ~suffix:path)
+    tbl false
+
+let covered t file = mem_by_suffix t.files file
+let clean t file = covered t file && not (mem_by_suffix t.flagged file)
+
+let flagged_files t =
+  List.sort compare (Hashtbl.fold (fun f () acc -> f :: acc) t.flagged [])
+
+let covered_count t = Hashtbl.length t.files

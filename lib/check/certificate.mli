@@ -1,0 +1,34 @@
+(** Static wait-structure certificates for the dynamic cross-check.
+
+    Built by running the static passes ({!Analysis.Source_lint} per file,
+    {!Analysis.Interproc} whole-project) over a set of sources and
+    recording, per file, whether any {e unallowed} wait-structure finding
+    ([red-wait], [cross-module-red-wait], [unbounded-wait],
+    [degenerate-quorum], [vacuous-quorum], [quorum-arity-mismatch],
+    [orphan-wait]) was reported. A file with none is {e certified clean}:
+    statically, its waits are all quorum-shaped. The schedule explorer
+    treats a dynamic violation inside a certified-clean file as a
+    [certificate-mismatch] — evidence that one of the two analyses is
+    wrong, and a reportable bug either way. *)
+
+type t
+
+val build : roots:string list -> unit -> t
+(** Walk the given directories for [.ml] files (skipping [_build] and
+    [.git]), run both static passes, and record per-file verdicts. *)
+
+val of_findings : files:string list -> Analysis.Finding.t list -> t
+(** Assemble a certificate from already-computed findings (for tests). *)
+
+val covered : t -> string -> bool
+(** Was this file part of the certified set? Paths are compared by suffix,
+    so repo-relative names match sandbox-relative walks. *)
+
+val clean : t -> string -> bool
+(** Covered and free of unallowed wait-structure findings. *)
+
+val flagged_files : t -> string list
+(** Certified-set files carrying at least one unallowed wait finding,
+    sorted. *)
+
+val covered_count : t -> int

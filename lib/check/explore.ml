@@ -1,0 +1,270 @@
+open Sim
+
+(* Stateless schedule-space exploration by re-execution: given a fixed
+   seed, a run is fully determined by the sequence of chooser decisions,
+   so a schedule IS its decision prefix. The explorer does a DFS over
+   prefixes: each run follows its prefix and then defaults (index 0) to a
+   terminal state, recording the enabled set at every choice point past
+   the prefix; backtracking re-runs with the prefix extended by an
+   alternative decision. Alternatives are filtered by a persistent-set
+   (DPOR-lite) heuristic: the conflict closure of the taken transition,
+   where two transitions conflict iff their tag footprints land on the
+   same node (unknown provenance conflicts with everything). This is
+   exact for share-nothing message-passing scenarios — cross-node effects
+   travel through Link-tagged deliveries — and scenarios with genuinely
+   shared state put every coroutine on one node, disabling pruning. *)
+
+exception Out_of_steps
+
+type budget = {
+  max_schedules : int;  (* explored runs *)
+  max_steps : int;  (* choice points per run before truncation *)
+  max_depth : int;  (* no new backtrack points past this choice index *)
+  delay_bound : int;  (* max prefix extensions along one lineage *)
+}
+
+let default_budget =
+  { max_schedules = 2000; max_steps = 4000; max_depth = 200; delay_bound = max_int }
+
+type run = {
+  r_steps : Engine.tag array array;
+      (* enabled sets at choice points past the prefix (decision 0 taken) *)
+  r_nsteps : int;  (* choice points seen, including prefix replay *)
+  r_truncated : bool;
+  r_quiescent : bool;
+  r_violations : Sanitizer.violation list;
+}
+
+let footprint = function
+  | Engine.Anon -> None
+  | Engine.Coro (_, n) -> if n < 0 then None else Some n
+  | Engine.On_node n -> Some n
+  | Engine.Link (_, d) -> Some d
+
+let conflicts a b =
+  match (footprint a, footprint b) with
+  | None, _ | _, None -> true
+  | Some x, Some y -> x = y
+
+(* conflict closure of [chosen] within [tags]: true for members of the
+   persistent set; everything outside it is provably independent of the
+   chosen transition (under the footprint heuristic) and safe to skip *)
+let persistent_set tags chosen =
+  let n = Array.length tags in
+  let inset = Array.make n false in
+  inset.(chosen) <- true;
+  let changed = ref true in
+  while !changed do
+    changed := false;
+    for i = 0 to n - 1 do
+      if not inset.(i) then
+        for j = 0 to n - 1 do
+          if inset.(j) && conflicts tags.(i) tags.(j) then begin
+            inset.(i) <- true;
+            changed := true
+          end
+        done
+    done
+  done;
+  inset
+
+let run_one (scenario : Scenario.t) ~prefix ~budget =
+  let engine = Engine.create ~seed:1L () in
+  let trace = Depfast.Trace.create ~enabled:true () in
+  let sched = Depfast.Sched.create ~trace engine in
+  let san = Sanitizer.create sched in
+  let nsteps = ref 0 in
+  let truncated = ref false in
+  let steps = ref [] in
+  let plen = Array.length prefix in
+  Engine.set_chooser engine (fun tags ->
+      let i = !nsteps in
+      if i >= budget.max_steps then raise Out_of_steps;
+      incr nsteps;
+      if i < plen then begin
+        let c = prefix.(i) in
+        if c < Array.length tags then c else 0
+      end
+      else begin
+        steps := Array.copy tags :: !steps;
+        0
+      end);
+  let inst = scenario.Scenario.make san sched in
+  (try Depfast.Sched.run ?until:inst.Scenario.until sched with
+  | Out_of_steps -> truncated := true
+  | e ->
+    Sanitizer.report san ~rule:Analysis.Finding.invariant_violation
+      ("uncaught exception: " ^ Printexc.to_string e));
+  let quiescent = (not !truncated) && Engine.pending engine = 0 in
+  if quiescent then Sanitizer.check_quiescent san else Sanitizer.check_live san;
+  List.iter
+    (fun msg -> Sanitizer.report san ~rule:Analysis.Finding.invariant_violation msg)
+    (inst.Scenario.check ());
+  List.iter
+    (fun (v : Depfast.Spg.violation) ->
+      let w = v.Depfast.Spg.v_wait in
+      Sanitizer.report san ~rule:Analysis.Finding.dynamic_red_wait
+        ~coroutine:w.Depfast.Trace.coroutine ~node:w.Depfast.Trace.node
+        ~event_id:(Depfast.Trace.event_id w)
+        ~event_label:(Depfast.Trace.event_label w)
+        (Printf.sprintf "wait stallable by node %d alone" v.Depfast.Spg.v_peer))
+    (Depfast.Spg.audit ~allow:scenario.Scenario.allow trace);
+  {
+    r_steps = Array.of_list (List.rev !steps);
+    r_nsteps = !nsteps;
+    r_truncated = !truncated;
+    r_quiescent = quiescent;
+    r_violations = Sanitizer.violations san;
+  }
+
+(* a deduplicated violation site across all explored schedules *)
+type site = {
+  s_rule : string;
+  s_coroutine : string;
+  s_node : int;
+  s_event_id : int;
+  s_event_label : string;
+  s_message : string;
+  mutable s_runs : int;  (* schedules exhibiting it *)
+  s_first : int;  (* first schedule (exploration order) that did *)
+}
+
+type result = {
+  scenario : string;
+  schedules : int;  (* schedules actually executed *)
+  pruned : int;  (* enabled alternatives skipped as independent (DPOR) *)
+  truncated_runs : int;
+  nonquiescent_runs : int;
+  deepest : int;  (* most choice points seen in one run *)
+  complete : bool;  (* frontier exhausted within the schedule budget *)
+  findings : Analysis.Finding.t list;  (* deduplicated, sorted *)
+}
+
+let finding_of_site scenario s =
+  (* the event id is run-local (global counter, fresh engine per run):
+     zeroed so reports are stable across runs and invocations *)
+  let loc = Analysis.Finding.Node { event_id = 0; event_label = s.s_event_label } in
+  let context =
+    (if s.s_coroutine = "" then ""
+     else Printf.sprintf " [coroutine %s, node %d]" s.s_coroutine s.s_node)
+    ^ Printf.sprintf " (%d schedule%s, first #%d)" s.s_runs
+        (if s.s_runs = 1 then "" else "s")
+        s.s_first
+  in
+  Analysis.Finding.v ~rule:s.s_rule ~severity:Analysis.Finding.Error ~loc
+    (Printf.sprintf "%s: %s%s" scenario s.s_message context)
+
+let explore ?(budget = default_budget) ?certs (scenario : Scenario.t) =
+  let stack = ref [ ([||], 0) ] in
+  let schedules = ref 0 in
+  let pruned = ref 0 in
+  let truncated_runs = ref 0 in
+  let nonquiescent_runs = ref 0 in
+  let deepest = ref 0 in
+  let sites : (string * string * string * string, site) Hashtbl.t =
+    Hashtbl.create 16
+  in
+  let site_order = ref [] in
+  while !stack <> [] && !schedules < budget.max_schedules do
+    match !stack with
+    | [] -> ()
+    | (prefix, lineage) :: rest ->
+      stack := rest;
+      let run = run_one scenario ~prefix ~budget in
+      let sid = !schedules in
+      incr schedules;
+      if run.r_truncated then incr truncated_runs;
+      if not run.r_quiescent then incr nonquiescent_runs;
+      if run.r_nsteps > !deepest then deepest := run.r_nsteps;
+      List.iter
+        (fun (v : Sanitizer.violation) ->
+          (* event *ids* are a process-global counter, different in every
+             re-executed run — sites are identified by label instead *)
+          let key = (v.Sanitizer.rule, v.Sanitizer.coroutine, v.Sanitizer.event_label,
+                     v.Sanitizer.message)
+          in
+          match Hashtbl.find_opt sites key with
+          | Some s -> s.s_runs <- s.s_runs + 1
+          | None ->
+            let s =
+              {
+                s_rule = v.Sanitizer.rule;
+                s_coroutine = v.Sanitizer.coroutine;
+                s_node = v.Sanitizer.node;
+                s_event_id = v.Sanitizer.event_id;
+                s_event_label = v.Sanitizer.event_label;
+                s_message = v.Sanitizer.message;
+                s_runs = 1;
+                s_first = sid;
+              }
+            in
+            Hashtbl.replace sites key s;
+            site_order := s :: !site_order)
+        run.r_violations;
+      let plen = Array.length prefix in
+      if lineage < budget.delay_bound then begin
+        let pushes = ref [] in
+        Array.iteri
+          (fun j tags ->
+            let abs = plen + j in
+            let n = Array.length tags in
+            if abs < budget.max_depth then begin
+              let inset = persistent_set tags 0 in
+              let psize = Array.fold_left (fun a b -> if b then a + 1 else a) 0 inset in
+              pruned := !pruned + (n - psize);
+              for alt = n - 1 downto 1 do
+                if inset.(alt) then begin
+                  (* this run chose 0 at steps plen..abs-1; deviate at abs *)
+                  let p' = Array.make (abs + 1) 0 in
+                  Array.blit prefix 0 p' 0 plen;
+                  p'.(abs) <- alt;
+                  pushes := (p', lineage + 1) :: !pushes
+                end
+              done
+            end
+            else pruned := !pruned + (n - 1))
+          run.r_steps;
+        stack := !pushes @ !stack
+      end
+      else
+        Array.iter (fun tags -> pruned := !pruned + (Array.length tags - 1)) run.r_steps
+  done;
+  let complete = !stack = [] && !truncated_runs = 0 in
+  let dynamic = List.rev !site_order in
+  let mismatches =
+    match certs with
+    | None -> []
+    | Some certs ->
+      List.filter_map
+        (fun s ->
+          if s.s_coroutine = "" then None
+          else
+            match scenario.Scenario.provenance s.s_coroutine with
+            | Some file when Certificate.clean certs file ->
+              Some
+                (Analysis.Finding.v ~rule:Analysis.Finding.certificate_mismatch
+                   ~severity:Analysis.Finding.Error
+                   ~loc:(Analysis.Finding.File { file; line = 0 })
+                   (Printf.sprintf
+                      "%s: dynamic %s in coroutine %s, but the static certificate \
+                       holds %s clean"
+                      scenario.Scenario.name s.s_rule s.s_coroutine file))
+            | _ -> None)
+        dynamic
+  in
+  let findings =
+    List.map (finding_of_site scenario.Scenario.name) dynamic @ mismatches
+    |> List.sort_uniq (fun a b ->
+           let c = Analysis.Finding.by_location a b in
+           if c <> 0 then c else compare a b)
+  in
+  {
+    scenario = scenario.Scenario.name;
+    schedules = !schedules;
+    pruned = !pruned;
+    truncated_runs = !truncated_runs;
+    nonquiescent_runs = !nonquiescent_runs;
+    deepest = !deepest;
+    complete;
+    findings;
+  }

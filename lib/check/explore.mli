@@ -1,0 +1,64 @@
+(** The schedule-space explorer: bounded, DPOR-pruned enumeration of
+    interleavings by stateless re-execution.
+
+    With a fixed engine seed a run is fully determined by its sequence of
+    chooser decisions, so a schedule {e is} its decision prefix. The
+    explorer DFSes over prefixes: each run replays its prefix, then takes
+    default decisions to a terminal state while recording every enabled
+    set it passed; backtracking re-runs with the prefix extended by an
+    alternative decision. Alternatives outside the persistent set — the
+    conflict closure of the taken transition under a node-footprint
+    independence heuristic — are skipped and counted as {e pruned}.
+
+    The heuristic is exact for share-nothing message-passing scenarios
+    (cross-node effects travel through [Link]-tagged deliveries, which
+    conflict on their destination); scenarios with genuinely shared state
+    put all coroutines on one node, which disables pruning and falls back
+    to full enumeration. *)
+
+type budget = {
+  max_schedules : int;  (** explored runs *)
+  max_steps : int;  (** choice points per run before truncation *)
+  max_depth : int;  (** no new backtrack points past this choice index *)
+  delay_bound : int;  (** max prefix extensions along one lineage *)
+}
+
+val default_budget : budget
+(** 2000 schedules, 4000 steps/run, depth 200, unbounded delay. *)
+
+type run = {
+  r_steps : Sim.Engine.tag array array;
+      (** enabled sets at choice points past the prefix *)
+  r_nsteps : int;
+  r_truncated : bool;
+  r_quiescent : bool;  (** engine fully drained (no posted work, no timers) *)
+  r_violations : Sanitizer.violation list;
+}
+
+val run_one : Scenario.t -> prefix:int array -> budget:budget -> run
+(** Execute a single schedule: replay [prefix], then default decisions.
+    [prefix = [||]] is the program-order schedule — what a plain test run
+    would see. *)
+
+type result = {
+  scenario : string;
+  schedules : int;  (** schedules actually executed *)
+  pruned : int;  (** enabled alternatives skipped as independent (DPOR) *)
+  truncated_runs : int;
+  nonquiescent_runs : int;  (** runs stopped by deadline, not quiescence *)
+  deepest : int;  (** most choice points seen in one run *)
+  complete : bool;  (** frontier exhausted within the schedule budget *)
+  findings : Analysis.Finding.t list;  (** deduplicated, sorted *)
+}
+
+val explore : ?budget:budget -> ?certs:Certificate.t -> Scenario.t -> result
+(** Enumerate schedules. Each distinct violation site is reported once,
+    annotated with how many schedules exhibited it; with [certs], any
+    dynamic violation whose coroutine provenance maps into a
+    certified-clean file additionally raises [certificate-mismatch]. *)
+
+(**/**)
+
+val footprint : Sim.Engine.tag -> int option
+val conflicts : Sim.Engine.tag -> Sim.Engine.tag -> bool
+val persistent_set : Sim.Engine.tag array -> int -> bool array

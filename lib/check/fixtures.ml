@@ -1,0 +1,34 @@
+(* A deliberately-broken quorum builder, kept in its own module so the
+   static certificate over lib/check can vouch for it separately.
+
+   The bug: the builder collects reply events *after* yielding, and only
+   [Event.add]s a reply that is not already ready — forgetting that ready
+   replies still count toward the quorum. In the program-order schedule
+   every reply is still pending when the quorum is built, so the quorum
+   sees all children and fires: a single-schedule run is clean. Under an
+   interleaving where a responder fires before the builder runs, the
+   quorum is wired with fewer children than it requires and the builder
+   parks forever — exactly the class of bug only schedule exploration
+   catches, and (the waits being quorum-shaped) one the static passes
+   certify as clean. *)
+
+let spawn_broken_quorum sched =
+  let open Depfast in
+  let replies =
+    List.map (fun peer -> Event.rpc_completion ~label:"fx.reply" ~peer ()) [ 1; 2; 3 ]
+  in
+  List.iteri
+    (fun i ev ->
+      Sched.spawn sched ~node:0
+        ~name:(Printf.sprintf "fx.responder%d" (i + 1))
+        (fun () ->
+          Sched.yield sched;
+          Event.fire ev))
+    replies;
+  Sched.spawn sched ~node:0 ~name:"fx.builder" (fun () ->
+      (* 2-of-3: correctly wired this is a green quorum *)
+      let q = Event.quorum ~label:"fx.quorum" (Event.Count (List.length replies - 1)) in
+      List.iter
+        (fun r -> if not (Event.is_ready r) then Event.add q ~child:r)
+        replies;
+      Sched.wait sched q)

@@ -1,0 +1,184 @@
+(* The fail-slow sanitizer: runtime invariants checked at every explored
+   state. One instance per explored run; [create] installs a Sched monitor
+   that shadows the park/wake/resume protocol of every coroutine, and the
+   checks below compare that shadow against the event structures. *)
+
+type state = Running | Parked | Woken | Finished
+
+type coro = {
+  c_cid : int;
+  c_node : int;
+  c_name : string;
+  mutable c_state : state;
+  mutable c_event : Depfast.Event.t option;  (* event parked on, when Parked/Woken *)
+}
+
+type violation = {
+  rule : string;  (* an {!Analysis.Finding} rule id *)
+  coroutine : string;
+  node : int;
+  event_id : int;
+  event_label : string;
+  message : string;
+}
+
+type t = {
+  sched : Depfast.Sched.t;
+  coros : (int, coro) Hashtbl.t;
+  events : (int, Depfast.Event.t) Hashtbl.t;  (* every event seen at a park *)
+  mutable violations : violation list;  (* reverse report order *)
+}
+
+let report t ~rule ?(coroutine = "") ?(node = -1) ?(event_id = 0) ?(event_label = "")
+    message =
+  t.violations <- { rule; coroutine; node; event_id; event_label; message } :: t.violations
+
+let violations t = List.rev t.violations
+
+let report_for t ~rule (c : coro) ev message =
+  report t ~rule ~coroutine:c.c_name ~node:c.c_node ~event_id:(Depfast.Event.id ev)
+    ~event_label:(Depfast.Event.label ev) message
+
+let rec remember_event t ev =
+  let id = Depfast.Event.id ev in
+  if not (Hashtbl.mem t.events id) then begin
+    Hashtbl.replace t.events id ev;
+    Depfast.Event.iter_children ev (remember_event t)
+  end
+
+let create sched =
+  let t =
+    { sched; coros = Hashtbl.create 64; events = Hashtbl.create 64; violations = [] }
+  in
+  let coro_of cid ~node ~name =
+    match Hashtbl.find_opt t.coros cid with
+    | Some c -> c
+    | None ->
+      let c = { c_cid = cid; c_node = node; c_name = name; c_state = Running; c_event = None } in
+      Hashtbl.replace t.coros cid c;
+      c
+  in
+  Depfast.Sched.set_monitor sched
+    (Some
+       {
+         Depfast.Sched.on_spawn =
+           (fun ~cid ~node ~name -> ignore (coro_of cid ~node ~name));
+         on_park =
+           (fun ~cid ~node ~name ev ->
+             let c = coro_of cid ~node ~name in
+             c.c_state <- Parked;
+             c.c_event <- Some ev;
+             remember_event t ev);
+         on_wake =
+           (fun ~cid ev _wake ->
+             match Hashtbl.find_opt t.coros cid with
+             | None -> ()
+             | Some c -> (
+               match c.c_state with
+               | Parked -> c.c_state <- Woken
+               | Running | Woken | Finished ->
+                 report_for t ~rule:Analysis.Finding.double_wake c ev
+                   "second wakeup delivered for a single park"));
+         on_resume =
+           (fun ~cid ->
+             match Hashtbl.find_opt t.coros cid with
+             | None -> ()
+             | Some c ->
+               c.c_state <- Running;
+               c.c_event <- None);
+         on_done =
+           (fun ~cid ->
+             match Hashtbl.find_opt t.coros cid with
+             | None -> ()
+             | Some c -> c.c_state <- Finished);
+       });
+  t
+
+(* Can [ev] still fire, structurally: is it ready, or does it have enough
+   live (non-abandoned, recursively satisfiable) children to reach its
+   required count? Basic pending events can always be fired by someone. *)
+let rec can_fire ev =
+  let open Depfast.Event in
+  if is_ready ev then true
+  else if is_abandoned ev then false
+  else
+    match kind ev with
+    | Signal | Timer | Rpc | Disk -> true
+    | Quorum | And_ | Or_ ->
+      let fireable = ref 0 in
+      iter_children ev (fun c -> if can_fire c then incr fireable);
+      !fireable >= required ev
+
+(* Counter consistency — sound at any point of the run: a still-pending
+   compound's packed ready counter must equal a recount of its children,
+   and can never exceed the child count (a double-fire would). Once the
+   compound has fired, late-firing children legitimately outrun the
+   counter, so only the arity bound is checked. *)
+let check_counters t =
+  let visited = Hashtbl.create 32 in
+  let rec go ev =
+    let open Depfast.Event in
+    let id = Depfast.Event.id ev in
+    if not (Hashtbl.mem visited id) then begin
+      Hashtbl.replace visited id ();
+      (match kind ev with
+      | Signal | Timer | Rpc | Disk -> ()
+      | Quorum | And_ | Or_ ->
+        let actual = ref 0 in
+        iter_children ev (fun c -> if is_ready c then incr actual);
+        let counted = ready_children ev in
+        if counted > child_count ev then
+          report t ~rule:Analysis.Finding.quorum_overcount ~event_id:id
+            ~event_label:(label ev)
+            (Printf.sprintf "ready counter %d exceeds arity %d" counted (child_count ev))
+        else if (not (is_ready ev)) && (not (is_abandoned ev)) && counted <> !actual then
+          report t ~rule:Analysis.Finding.quorum_overcount ~event_id:id
+            ~event_label:(label ev)
+            (Printf.sprintf "ready counter %d but %d children are ready" counted !actual));
+      iter_children ev go
+    end
+  in
+  Hashtbl.iter (fun _ ev -> go ev) t.events
+
+(* Lost wakeup — sound at any point: firing an event runs its observers
+   synchronously, so a coroutine parked on a *ready* event without a
+   delivered wakeup can only mean the park/wake protocol broke. *)
+let check_live t =
+  check_counters t;
+  Hashtbl.iter
+    (fun _ c ->
+      match (c.c_state, c.c_event) with
+      | Parked, Some ev when Depfast.Event.is_ready ev ->
+        report_for t ~rule:Analysis.Finding.lost_wakeup c ev
+          "parked on a ready event with no wakeup delivered"
+      | _ -> ())
+    t.coros
+
+(* Terminal checks — only sound when the engine is truly quiescent (no
+   posted work, no live timers): then nothing can ever add children, fire
+   events, or time a wait out, so every parked coroutine is parked
+   forever. *)
+let check_quiescent t =
+  check_live t;
+  Hashtbl.iter
+    (fun _ c ->
+      match (c.c_state, c.c_event) with
+      | Parked, Some ev when not (Depfast.Event.is_ready ev) ->
+        if Depfast.Event.is_abandoned ev then
+          report_for t ~rule:Analysis.Finding.parked_on_abandoned c ev
+            "parked forever on an abandoned event"
+        else if not (can_fire ev) then
+          report_for t ~rule:Analysis.Finding.unsatisfiable_wait c ev
+            (Printf.sprintf "needs %d ready children but only %d can still fire"
+               (Depfast.Event.required ev)
+               (let n = ref 0 in
+                Depfast.Event.iter_children ev (fun ch -> if can_fire ch then incr n);
+                !n))
+        else
+          report_for t ~rule:Analysis.Finding.parked_at_quiescence c ev
+            "parked with no work left that could fire the event"
+      | _ -> ())
+    t.coros
+
+let parked_count t =
+  Hashtbl.fold (fun _ c acc -> if c.c_state = Parked then acc + 1 else acc) t.coros 0

@@ -1,0 +1,54 @@
+(** The fail-slow sanitizer: runtime invariants checked over explored
+    schedules.
+
+    One instance shadows one run: {!create} installs a {!Depfast.Sched}
+    monitor that mirrors every coroutine's park/wake/resume protocol, and
+    the check entry points compare that mirror against the event
+    structures. Violations are reported under {!Analysis.Finding} rule ids
+    ([lost-wakeup], [double-wake], [parked-on-abandoned],
+    [unsatisfiable-wait], [quorum-overcount], [parked-at-quiescence]);
+    other layers (the network's FIFO self-check, scenario invariants)
+    funnel their violations through {!report}. *)
+
+type t
+
+type violation = {
+  rule : string;  (** an {!Analysis.Finding} rule id *)
+  coroutine : string;  (** [""] when not attributable to a coroutine *)
+  node : int;  (** [-1] when not attributable to a node *)
+  event_id : int;  (** [0] when no event is involved *)
+  event_label : string;
+  message : string;
+}
+
+val create : Depfast.Sched.t -> t
+(** Installs the monitor on the scheduler (replacing any previous one).
+    Use a fresh scheduler per explored run. *)
+
+val report :
+  t ->
+  rule:string ->
+  ?coroutine:string ->
+  ?node:int ->
+  ?event_id:int ->
+  ?event_label:string ->
+  string ->
+  unit
+(** Record a violation from an external checker (network FIFO sanitizer,
+    scenario invariants, audit cross-checks). *)
+
+val check_live : t -> unit
+(** Invariants sound at {e any} point of a run: compound ready-counter
+    consistency (no double-fire) and lost wakeups (parked on a ready
+    event). *)
+
+val check_quiescent : t -> unit
+(** {!check_live} plus the parked-forever family — only sound when the
+    engine is truly quiescent ([Engine.pending = 0]): no remaining work
+    can fire events or rescue a waiter by timeout. *)
+
+val violations : t -> violation list
+(** In report order. *)
+
+val parked_count : t -> int
+(** Coroutines currently parked (for tests). *)

@@ -1,0 +1,38 @@
+(* A scenario is a small closed world the schedule explorer re-executes
+   once per explored interleaving. [make] builds all state against a fresh
+   scheduler (and wires any network it creates into choice mode + the
+   sanitizer); the returned instance tells the explorer how long to run
+   and how to judge the terminal state. *)
+
+type instance = {
+  until : Sim.Time.t option;
+      (* virtual-time deadline for the run; [None] = run to quiescence
+         (only for scenarios with no recurring timers) *)
+  check : unit -> string list;
+      (* terminal-state invariants; one message per violation. Must hold
+         in *every* interleaving, including truncated ones — prefer
+         safety properties (agreement, at-most-one-leader) over liveness *)
+}
+
+type t = {
+  name : string;
+  descr : string;
+  exhaustive : bool;
+      (* small enough that the default budget fully enumerates it *)
+  gating : bool;  (* part of the default registry run (CI) *)
+  modules : string list;  (* source files exercised — certificate domain *)
+  default_schedules : int;  (* per-scenario schedule budget in `all` runs *)
+  allow : node:int -> bool;  (* Spg.audit exemption (clients) *)
+  provenance : string -> string option;
+      (* coroutine name -> source file implementing it, for the
+         certificate cross-check *)
+  make : Sanitizer.t -> Depfast.Sched.t -> instance;
+}
+
+let no_provenance (_ : string) : string option = None
+let allow_none ~node:(_ : int) = false
+let allow_all ~node:(_ : int) = true
+
+let has_prefix ~prefix s =
+  String.length s >= String.length prefix
+  && String.sub s 0 (String.length prefix) = prefix

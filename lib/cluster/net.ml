@@ -16,11 +16,15 @@ and 'msg link = {
   mutable ring : 'msg array;  (* lazily sized from the first message *)
   mutable times : Time.t array;  (* parallel: absolute arrival per slot *)
   mutable units : int array;  (* parallel: bytes-equivalent per slot *)
+  mutable seqs : int array;  (* parallel: per-link send sequence number *)
   mutable head : int;
   mutable len : int;
+  mutable next_seq : int;  (* send counter, for the FIFO sanitizer *)
+  mutable last_seq : int;  (* last delivered seq; must strictly increase *)
   mutable last_arrival : Time.t;  (* FIFO clamp: arrivals strictly increase *)
   mutable armed : bool;  (* a pump callback is scheduled *)
   mutable pump : unit -> unit;  (* the one reusable delivery thunk *)
+  mutable cpump : unit -> unit;  (* choice-mode: deliver exactly one *)
   mutable l_delivered : int;
   mutable l_dropped : int;
   mutable l_units : int;  (* units actually delivered *)
@@ -39,6 +43,8 @@ type 'msg t = {
   mutable delivered : int;
   mutable dropped : int;
   mutable units_total : int;
+  mutable choice : bool;  (* delivery order is a chooser decision *)
+  mutable on_violation : (string -> unit) option;  (* FIFO sanitizer *)
 }
 
 let no_arrival = Time.add Time.zero (-1)
@@ -58,7 +64,13 @@ let create sched ?(latency = Dist.Shifted (120.0, Dist.Exponential 30.0)) ?rng (
     delivered = 0;
     dropped = 0;
     units_total = 0;
+    choice = false;
+    on_violation = None;
   }
+
+let set_choice_mode t b = t.choice <- b
+let choice_mode t = t.choice
+let set_sanitizer t f = t.on_violation <- Some f
 
 let grow_slots arr want =
   let cap = Array.length arr in
@@ -105,8 +117,18 @@ let deliver_head t link =
   let slot = link.head in
   let msg = Array.unsafe_get link.ring slot in
   let u = Array.unsafe_get link.units slot in
+  let sq = Array.unsafe_get link.seqs slot in
   link.head <- (slot + 1) mod cap;
   link.len <- link.len - 1;
+  (* per-link FIFO invariant: delivered send-sequence numbers strictly
+     increase (drops leave gaps; reordering would be an engine bug) *)
+  (match t.on_violation with
+  | Some report when sq <= link.last_seq ->
+    report
+      (Printf.sprintf "net: link %d->%d delivered seq %d after seq %d (FIFO violation)"
+         link.link_src link.link_dst sq link.last_seq)
+  | _ -> ());
+  link.last_seq <- sq;
   match ep_opt t link.link_dst with
   | Some dep when Node.alive dep.node && not (partitioned t link.link_src link.link_dst)
     ->
@@ -122,8 +144,17 @@ let deliver_head t link =
 let arm t link =
   link.armed <- true;
   let engine = Depfast.Sched.engine t.sched in
-  let delay = Time.diff link.times.(link.head) (Engine.now engine) in
-  ignore (Engine.schedule engine ~delay link.pump)
+  if t.choice then
+    (* delivery order across links is a chooser decision: one enabled
+       transition per non-empty link, delivering exactly the head *)
+    Engine.post_tag engine (Engine.Link (link.link_src, link.link_dst)) link.cpump
+  else begin
+    let delay = Time.diff link.times.(link.head) (Engine.now engine) in
+    ignore
+      (Engine.schedule_tag engine ~delay
+         (Engine.Link (link.link_src, link.link_dst))
+         link.pump)
+  end
 
 let rec pump t link () =
   link.armed <- false;
@@ -137,6 +168,16 @@ let rec pump t link () =
     if link.len > 0 && not link.armed then arm t link
   end
 
+(* choice-mode pump: deliver exactly one message, then re-arm — each
+   delivery is its own transition, so the explorer can interleave other
+   links' (and coroutines') work between any two deliveries *)
+and choice_pump t link () =
+  link.armed <- false;
+  if link.len > 0 then begin
+    deliver_head t link;
+    if link.len > 0 && not link.armed then arm t link
+  end
+
 and make_link t ~src ~dst =
   let link =
     {
@@ -145,17 +186,22 @@ and make_link t ~src ~dst =
       ring = [||];
       times = [||];
       units = [||];
+      seqs = [||];
       head = 0;
       len = 0;
+      next_seq = 0;
+      last_seq = -1;
       last_arrival = no_arrival;
       armed = false;
       pump = ignore;
+      cpump = ignore;
       l_delivered = 0;
       l_dropped = 0;
       l_units = 0;
     }
   in
   link.pump <- pump t link;
+  link.cpump <- choice_pump t link;
   link
 
 let link_for t sep ~src ~dst =
@@ -176,21 +222,25 @@ let ensure_room link msg =
   if cap = 0 then begin
     link.ring <- Array.make 8 msg;
     link.times <- Array.make 8 Time.zero;
-    link.units <- Array.make 8 0
+    link.units <- Array.make 8 0;
+    link.seqs <- Array.make 8 0
   end
   else if link.len = cap then begin
     let ring = Array.make (2 * cap) msg in
     let times = Array.make (2 * cap) Time.zero in
     let units = Array.make (2 * cap) 0 in
+    let seqs = Array.make (2 * cap) 0 in
     for i = 0 to link.len - 1 do
       let slot = (link.head + i) mod cap in
       ring.(i) <- link.ring.(slot);
       times.(i) <- link.times.(slot);
-      units.(i) <- link.units.(slot)
+      units.(i) <- link.units.(slot);
+      seqs.(i) <- link.seqs.(slot)
     done;
     link.ring <- ring;
     link.times <- times;
     link.units <- units;
+    link.seqs <- seqs;
     link.head <- 0
   end
 
@@ -201,6 +251,8 @@ let enqueue t link msg ~units ~arrival =
   Array.unsafe_set link.ring slot msg;
   Array.unsafe_set link.times slot arrival;
   Array.unsafe_set link.units slot units;
+  Array.unsafe_set link.seqs slot link.next_seq;
+  link.next_seq <- link.next_seq + 1;
   link.len <- link.len + 1;
   if not link.armed then arm t link
 
@@ -212,6 +264,11 @@ let send t ?(units = 0) ~src ~dst msg =
       link.l_dropped <- link.l_dropped + 1;
       t.dropped <- t.dropped + 1
     end
+    else if t.choice then
+      (* explore mode abstracts latency: the message is in flight now and
+         the chooser decides when (relative to everything else) it lands *)
+      enqueue t link msg ~units
+        ~arrival:(Engine.now (Depfast.Sched.engine t.sched))
     else begin
       let delay =
         Dist.sample_span t.rng t.latency

@@ -60,3 +60,20 @@ val totals : 'msg t -> stats
 val stats : 'msg t -> src:int -> dst:int -> stats
 (** Counters for one directed link; all-zero if the link never carried a
     message. *)
+
+(** {2 Schedule exploration} *)
+
+val set_choice_mode : 'msg t -> bool -> unit
+(** In choice mode the network stops sampling latency: a sent message is in
+    flight immediately and each non-empty directed link posts exactly one
+    delivery transition (tagged [Engine.Link (src, dst)]) at a time, so the
+    engine's chooser decides the interleaving of deliveries across links —
+    while per-link FIFO order is preserved. Flip before any traffic flows;
+    intended for the schedule-space checker's per-run engines. *)
+
+val choice_mode : 'msg t -> bool
+
+val set_sanitizer : 'msg t -> (string -> unit) -> unit
+(** Install a violation reporter. The network self-checks the per-link FIFO
+    invariant at every delivery (send-sequence numbers strictly increase on
+    each directed link) and reports a description on violation. *)

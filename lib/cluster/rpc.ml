@@ -45,6 +45,8 @@ let discarded_responses t = t.discarded
 let outstanding_bytes t ~node = Option.value ~default:0 (Hashtbl.find_opt t.outstanding node)
 let link_stats t ~src ~dst = Net.stats t.net ~src ~dst
 let net_totals t = Net.totals t.net
+let set_choice_mode t b = Net.set_choice_mode t.net b
+let set_net_sanitizer t f = Net.set_sanitizer t.net f
 
 let charge t node bytes =
   Hashtbl.replace t.outstanding node (outstanding_bytes t ~node + bytes)

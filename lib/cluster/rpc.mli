@@ -77,3 +77,11 @@ val link_stats : ('req, 'resp) t -> src:int -> dst:int -> Net.stats
 
 val net_totals : ('req, 'resp) t -> Net.stats
 (** Network-wide counters for the underlying network. *)
+
+val set_choice_mode : ('req, 'resp) t -> bool -> unit
+(** Put the underlying network into schedule-exploration choice mode (see
+    {!Net.set_choice_mode}). *)
+
+val set_net_sanitizer : ('req, 'resp) t -> (string -> unit) -> unit
+(** Install a FIFO-invariant violation reporter on the underlying network
+    (see {!Net.set_sanitizer}). *)

@@ -2,11 +2,27 @@ open Sim
 
 type ctx = { cid : int; node : int; name : string }
 
+(* Runtime observation hooks for the schedule-space sanitizer (lib/check):
+   coroutine lifecycle and the park/wake/resume protocol around every wait.
+   [None] in steady state — each call site pays one match. *)
+type wake = Wake_fire | Wake_timeout
+
+type monitor = {
+  on_spawn : cid:int -> node:int -> name:string -> unit;
+  on_park : cid:int -> node:int -> name:string -> Event.t -> unit;
+      (** the coroutine suspended on a not-yet-ready event *)
+  on_wake : cid:int -> Event.t -> wake -> unit;
+      (** the wakeup was delivered (resume posted / timeout fired) *)
+  on_resume : cid:int -> unit;  (** the continuation actually runs again *)
+  on_done : cid:int -> unit;  (** the body returned *)
+}
+
 type t = {
   engine : Engine.t;
   trace_rec : Trace.t;
   mutable current : ctx option;
   mutable next_cid : int;
+  mutable monitor : monitor option;
 }
 
 type outcome = Ready | Timed_out
@@ -18,11 +34,12 @@ type _ Effect.t +=
 
 let create ?trace engine =
   let trace_rec = match trace with Some tr -> tr | None -> Trace.create () in
-  { engine; trace_rec; current = None; next_cid = 0 }
+  { engine; trace_rec; current = None; next_cid = 0; monitor = None }
 
 let engine t = t.engine
 let trace t = t.trace_rec
 let now t = Engine.now t.engine
+let set_monitor t m = t.monitor <- m
 
 let current_node t = match t.current with Some c -> c.node | None -> -1
 let current_coroutine t = match t.current with Some c -> c.name | None -> ""
@@ -59,13 +76,18 @@ let record_wait t ctx ev ~t_start ~outcome =
       }
 
 let rec spawn_ctx t ctx f =
-  Engine.post t.engine (fun () ->
+  (match t.monitor with
+  | Some m -> m.on_spawn ~cid:ctx.cid ~node:ctx.node ~name:ctx.name
+  | None -> ());
+  Engine.post_tag t.engine (Engine.Coro (ctx.cid, ctx.node)) (fun () ->
       let open Effect.Deep in
       let saved = t.current in
       t.current <- Some ctx;
       match_with f ()
         {
-          retc = (fun () -> ());
+          retc =
+            (fun () ->
+              match t.monitor with Some m -> m.on_done ~cid:ctx.cid | None -> ());
           exnc = (fun e -> raise e);
           effc =
             (fun (type a) (eff : a Effect.t) ->
@@ -79,12 +101,16 @@ let rec spawn_ctx t ctx f =
                 Some
                   (fun (k : (a, unit) continuation) ->
                     ignore
-                      (Engine.schedule st.engine ~delay:d (fun () -> resume st ctx k ()));
+                      (Engine.schedule_tag st.engine ~delay:d
+                         (Engine.Coro (ctx.cid, ctx.node)) (fun () ->
+                           resume st ctx k ()));
                     st.current <- None)
               | E_yield st ->
                 Some
                   (fun (k : (a, unit) continuation) ->
-                    Engine.post st.engine (fun () -> resume st ctx k ());
+                    Engine.post_tag st.engine
+                      (Engine.Coro (ctx.cid, ctx.node))
+                      (fun () -> resume st ctx k ());
                     st.current <- None)
               | _ -> None);
         };
@@ -100,13 +126,22 @@ and wait_impl :
     resume t ctx k Ready
   end
   else begin
+    (match t.monitor with
+    | Some m -> m.on_park ~cid:ctx.cid ~node:ctx.node ~name:ctx.name ev
+    | None -> ());
     let resumed = ref false in
     let timer_h = ref None in
     Event.on_fire ev (fun () ->
         if not !resumed then begin
           resumed := true;
           (match !timer_h with Some h -> Engine.cancel t.engine h | None -> ());
-          Engine.post t.engine (fun () ->
+          (match t.monitor with
+          | Some m -> m.on_wake ~cid:ctx.cid ev Wake_fire
+          | None -> ());
+          Engine.post_tag t.engine
+            (Engine.Coro (ctx.cid, ctx.node))
+            (fun () ->
+              (match t.monitor with Some m -> m.on_resume ~cid:ctx.cid | None -> ());
               record_wait t ctx ev ~t_start ~outcome:Ready;
               resume t ctx k Ready)
         end);
@@ -116,9 +151,16 @@ and wait_impl :
       if not !resumed then
         timer_h :=
           Some
-            (Engine.schedule t.engine ~delay:d (fun () ->
+            (Engine.schedule_tag t.engine ~delay:d
+               (Engine.Coro (ctx.cid, ctx.node))
+               (fun () ->
                  if not !resumed then begin
                    resumed := true;
+                   (match t.monitor with
+                   | Some m ->
+                     m.on_wake ~cid:ctx.cid ev Wake_timeout;
+                     m.on_resume ~cid:ctx.cid
+                   | None -> ());
                    record_wait t ctx ev ~t_start ~outcome:Timed_out;
                    resume t ctx k Timed_out
                  end))

@@ -16,6 +16,28 @@ val create : ?trace:Trace.t -> Sim.Engine.t -> t
 val engine : t -> Sim.Engine.t
 val trace : t -> Trace.t
 
+(** {2 Runtime monitoring}
+
+    Observation hooks for the schedule-space sanitizer (lib/check): the
+    coroutine lifecycle and the park/wake/resume protocol around every
+    suspension. With no monitor installed (the default) each hook site is
+    a single branch. *)
+
+type wake = Wake_fire | Wake_timeout
+
+type monitor = {
+  on_spawn : cid:int -> node:int -> name:string -> unit;
+  on_park : cid:int -> node:int -> name:string -> Event.t -> unit;
+      (** the coroutine suspended on a not-yet-ready event *)
+  on_wake : cid:int -> Event.t -> wake -> unit;
+      (** the wakeup was delivered (a resume was posted, or the wait's
+          timeout fired) *)
+  on_resume : cid:int -> unit;  (** the continuation actually runs again *)
+  on_done : cid:int -> unit;  (** the body returned *)
+}
+
+val set_monitor : t -> monitor option -> unit
+
 val spawn : t -> ?node:int -> ?name:string -> (unit -> unit) -> unit
 (** Start a coroutine. [node] tags it for tracing (inherited by coroutines
     it spawns if they pass no tag of their own — see {!spawn_here}).

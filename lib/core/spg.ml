@@ -70,15 +70,41 @@ let pp ?(node_name = default_name) fmt t =
         e.count)
     (edges t)
 
-type violation = { v_wait : Trace.wait; v_peer : int }
+type violation = { v_wait : Trace.wait; v_peer : int; v_count : int }
 
-let audit ?(allow = fun ~node:_ -> false) trace =
+(* A violating *site*: the same code location re-offending every round is
+   one finding, not one per occurrence. *)
+let site v =
+  let w = v.v_wait in
+  ( w.Trace.node,
+    w.Trace.coroutine,
+    Event.label w.Trace.event,
+    w.Trace.quorum_k,
+    w.Trace.quorum_n,
+    v.v_peer )
+
+let audit ?(allow = fun ~node:_ -> false) ?(dedup = true) trace =
   let out = ref [] in
   Trace.iter trace (fun w ->
       if not (allow ~node:w.Trace.node) then
         List.iter
-          (fun p -> if p <> w.Trace.node then out := { v_wait = w; v_peer = p } :: !out)
+          (fun p ->
+            if p <> w.Trace.node then
+              out := { v_wait = w; v_peer = p; v_count = 1 } :: !out)
           (Trace.stallers w));
-  List.rev !out
+  let raw = List.rev !out in
+  if not dedup then raw
+  else begin
+    let tbl = Hashtbl.create 32 in
+    List.iter
+      (fun v ->
+        let key = site v in
+        match Hashtbl.find_opt tbl key with
+        | Some r -> r := { !r with v_count = !r.v_count + 1 }
+        | None -> Hashtbl.add tbl key (ref v))
+      raw;
+    Hashtbl.fold (fun _ r acc -> !r :: acc) tbl []
+    |> List.sort (fun a b -> compare (site a) (site b))
+  end
 
 let is_fail_slow_tolerant ?allow trace = audit ?allow trace = []

@@ -41,15 +41,21 @@ val pp : ?node_name:(int -> string) -> Format.formatter -> t -> unit
 (** Human-readable edge list. *)
 
 type violation = {
-  v_wait : Trace.wait;
+  v_wait : Trace.wait;  (** a representative occurrence (the first seen) *)
   v_peer : int;  (** the single node able to stall the waiter *)
+  v_count : int;  (** occurrences folded into this site (1 when [~dedup:false]) *)
 }
 
-val audit : ?allow:(node:int -> bool) -> Trace.t -> violation list
+val audit : ?allow:(node:int -> bool) -> ?dedup:bool -> Trace.t -> violation list
 (** Waits whose completion depends on a {e single} remote node — i.e.
     non-quorum remote waits, or degenerate quorums needing every child.
     [allow ~node] exempts waiters (e.g. clients, which by design wait on
-    the leader; cf. Figure 2 discussion). Default allows none. *)
+    the leader; cf. Figure 2 discussion). Default allows none.
+
+    By default repeated offences from one site — same
+    [(node, coroutine, event label, quorum arity, peer)] — are folded into a
+    single violation whose [v_count] is the occurrence count, sorted by that
+    site key. [~dedup:false] returns every occurrence in trace order. *)
 
 val is_fail_slow_tolerant : ?allow:(node:int -> bool) -> Trace.t -> bool
 (** [audit] is empty. *)

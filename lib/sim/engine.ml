@@ -1,10 +1,36 @@
 type timer = (unit -> unit) Wheel.handle
 
+(* Provenance of a unit of work, for the schedule explorer (lib/check).
+   Tags are what make nondeterminism *reifiable*: when a chooser is
+   installed, every step with more than one enabled alternative becomes an
+   explicit choice over tagged transitions, and the explorer's DPOR-lite
+   pruner keys independence on the tags' footprints. *)
+type tag =
+  | Anon  (* unknown provenance: conflicts with everything *)
+  | Coro of int * int  (* coroutine (cid, node); node -1 = untagged *)
+  | On_node of int  (* node-local housekeeping (disk, station, timers) *)
+  | Link of int * int  (* delivery on the directed network link src -> dst *)
+
+type chooser = tag array -> int
+
+(* Explore mode: the ready FIFO is replaced by an indexed vector so the
+   chooser can run *any* enabled thunk, and same-deadline timer ties are
+   hoisted into that vector as they come due. Only live when a chooser is
+   installed; the steady-state engine pays one [None] check per call. *)
+type explore = {
+  choose : chooser;
+  mutable ex_tags : tag array;
+  mutable ex_fns : (unit -> unit) array;
+  mutable ex_n : int;
+  timer_tags : (int, tag) Hashtbl.t;  (* wheel seq -> tag *)
+}
+
 type t = {
   mutable clock : Time.t;
   ready : (unit -> unit) Queue.t;
   timers : (unit -> unit) Wheel.t;
   root_rng : Rng.t;
+  mutable ex : explore option;
 }
 
 let create ?(seed = 1L) () =
@@ -13,29 +39,94 @@ let create ?(seed = 1L) () =
     ready = Queue.create ();
     timers = Wheel.create ();
     root_rng = Rng.create seed;
+    ex = None;
   }
 
 let now t = t.clock
 let rng t = t.root_rng
 let split_rng t = Rng.split t.root_rng
-let post t f = Queue.add f t.ready
 
-let schedule t ~delay f =
+let no_fn () = ()
+
+let ex_push ex tag f =
+  let cap = Array.length ex.ex_fns in
+  if ex.ex_n = cap then begin
+    let ncap = if cap = 0 then 16 else 2 * cap in
+    let fns = Array.make ncap no_fn in
+    let tags = Array.make ncap Anon in
+    Array.blit ex.ex_fns 0 fns 0 ex.ex_n;
+    Array.blit ex.ex_tags 0 tags 0 ex.ex_n;
+    ex.ex_fns <- fns;
+    ex.ex_tags <- tags
+  end;
+  ex.ex_fns.(ex.ex_n) <- f;
+  ex.ex_tags.(ex.ex_n) <- tag;
+  ex.ex_n <- ex.ex_n + 1
+
+(* remove index i preserving the order of the rest: choice identity across
+   re-runs with the same prefix must be deterministic *)
+let ex_take ex i =
+  let f = ex.ex_fns.(i) in
+  for j = i to ex.ex_n - 2 do
+    ex.ex_fns.(j) <- ex.ex_fns.(j + 1);
+    ex.ex_tags.(j) <- ex.ex_tags.(j + 1)
+  done;
+  ex.ex_n <- ex.ex_n - 1;
+  ex.ex_fns.(ex.ex_n) <- no_fn;
+  ex.ex_tags.(ex.ex_n) <- Anon;
+  f
+
+let set_chooser t choose =
+  (match t.ex with
+  | Some _ -> invalid_arg "Engine.set_chooser: a chooser is already installed"
+  | None -> ());
+  let ex =
+    {
+      choose;
+      ex_tags = [||];
+      ex_fns = [||];
+      ex_n = 0;
+      timer_tags = Hashtbl.create 64;
+    }
+  in
+  (* adopt anything already posted (setup work queued before exploration) *)
+  Queue.iter (fun f -> ex_push ex Anon f) t.ready;
+  Queue.clear t.ready;
+  t.ex <- Some ex
+
+let exploring t = t.ex <> None
+
+let post_tag t tag f =
+  match t.ex with None -> Queue.add f t.ready | Some ex -> ex_push ex tag f
+
+let post t f = post_tag t Anon f
+
+let schedule_tag t ~delay tag f =
   let delay = if delay < 0 then 0 else delay in
-  Wheel.push t.timers ~time:(Time.add t.clock delay) f
+  let h = Wheel.push t.timers ~time:(Time.add t.clock delay) f in
+  (match t.ex with
+  | Some ex when tag <> Anon -> Hashtbl.replace ex.timer_tags (Wheel.seq h) tag
+  | _ -> ());
+  h
+
+let schedule t ~delay f = schedule_tag t ~delay Anon f
 
 let schedule_at t ~time f =
   let time = if time < t.clock then t.clock else time in
   Wheel.push t.timers ~time f
 
 let cancel t h = Wheel.cancel t.timers h
-let pending t = Queue.length t.ready + Wheel.size t.timers
+
+let ready_count t =
+  match t.ex with None -> Queue.length t.ready | Some ex -> ex.ex_n
+
+let pending t = ready_count t + Wheel.size t.timers
 
 (* sentinel for the allocation-free timer pop; compared physically, so a
    user-scheduled [fun () -> ()] can never collide with it *)
 let no_timer () = ()
 
-let step t =
+let step_default t =
   if not (Queue.is_empty t.ready) then begin
     (Queue.pop t.ready) ();
     true
@@ -50,6 +141,55 @@ let step t =
     end
   end
 
+(* move every timer due at the minimum deadline into the choice set: ties
+   are concurrent transitions, and the chooser sequences them (interleaved
+   with whatever they enable) instead of inheriting wheel insertion order.
+   A hoisted timer's handle is consumed, so a same-instant [cancel] of a
+   tied sibling becomes a no-op — the thunk runs; the runtime's guarded
+   wakeups (e.g. a wait's [resumed] flag) make that a visible no-op, which
+   is exactly what the sanitizer wants to observe. *)
+let hoist_due t ex =
+  match Wheel.peek_time t.timers with
+  | None -> ()
+  | Some tmin ->
+    t.clock <- tmin;
+    let continue = ref true in
+    while !continue do
+      match Wheel.peek_time t.timers with
+      | Some tm when tm = tmin -> (
+        match Wheel.pop_handle t.timers with
+        | Some h ->
+          let seq = Wheel.seq h in
+          let tag =
+            match Hashtbl.find_opt ex.timer_tags seq with
+            | Some tg ->
+              Hashtbl.remove ex.timer_tags seq;
+              tg
+            | None -> Anon
+          in
+          ex_push ex tag (Wheel.value h)
+        | None -> continue := false)
+      | _ -> continue := false
+    done
+
+let step_explore t ex =
+  if ex.ex_n = 0 then hoist_due t ex;
+  if ex.ex_n = 0 then false
+  else begin
+    let i =
+      if ex.ex_n = 1 then 0
+      else begin
+        let i = ex.choose (Array.sub ex.ex_tags 0 ex.ex_n) in
+        if i < 0 || i >= ex.ex_n then invalid_arg "Engine chooser: index out of range";
+        i
+      end
+    in
+    (ex_take ex i) ();
+    true
+  end
+
+let step t = match t.ex with None -> step_default t | Some ex -> step_explore t ex
+
 let run ?until t =
   let continue () =
     match until with
@@ -57,7 +197,7 @@ let run ?until t =
     | Some deadline -> (
       (* only advance past the deadline if posted (same-instant) work
          remains; timers beyond the deadline stay pending *)
-      if not (Queue.is_empty t.ready) then t.clock <= deadline
+      if ready_count t > 0 then t.clock <= deadline
       else
         match Wheel.peek_time t.timers with
         | None -> false
@@ -67,5 +207,5 @@ let run ?until t =
     ()
   done;
   match until with
-  | Some deadline when t.clock < deadline && Queue.is_empty t.ready -> t.clock <- deadline
+  | Some deadline when t.clock < deadline && ready_count t = 0 -> t.clock <- deadline
   | _ -> ()

@@ -14,6 +14,41 @@ type t
 type timer
 (** A cancellable scheduled thunk. *)
 
+(** {2 Choice points}
+
+    Every unit of work the engine runs can carry a provenance tag. In
+    normal operation tags are ignored (the ready FIFO and the timer wheel
+    fix the order); with a {!chooser} installed, each step with more than
+    one enabled alternative becomes an explicit choice over the tagged
+    transitions — the nondeterminism interface the schedule-space checker
+    (lib/check) enumerates. *)
+
+type tag =
+  | Anon  (** unknown provenance; the explorer treats it as conflicting
+              with everything *)
+  | Coro of int * int  (** coroutine [(cid, node)]; node [-1] = untagged *)
+  | On_node of int  (** node-local housekeeping (disk, cpu, timers) *)
+  | Link of int * int  (** delivery on the directed network link
+                           [src -> dst] *)
+
+type chooser = tag array -> int
+(** Called at every step where more than one transition is enabled, with
+    the tags of the enabled set (ready thunks, or — when no ready work
+    remains — every timer tied at the minimum deadline, hoisted). Must
+    return an index into the array; the engine runs that transition. *)
+
+val set_chooser : t -> chooser -> unit
+(** Switch the engine into explore mode. Anything already posted is
+    adopted (tagged {!Anon}). Install at most once per engine; engines are
+    cheap — the explorer builds a fresh one per run.
+
+    Explore-mode caveat: timers tied at the minimum deadline are hoisted
+    into the choice set together, so a same-instant [cancel] of a tied
+    sibling no longer suppresses its thunk — it runs as a (guarded) no-op.
+    Future timers cancel normally. *)
+
+val exploring : t -> bool
+
 val create : ?seed:int64 -> unit -> t
 (** Fresh engine at time 0. [seed] (default [1L]) roots all derived RNG
     streams. *)
@@ -27,11 +62,18 @@ val split_rng : t -> Rng.t
 (** A fresh independent stream derived from the root. *)
 
 val post : t -> (unit -> unit) -> unit
-(** Run a thunk at the current instant, after already-posted thunks. *)
+(** Run a thunk at the current instant, after already-posted thunks.
+    Equivalent to [post_tag t Anon]. *)
+
+val post_tag : t -> tag -> (unit -> unit) -> unit
+(** {!post} with provenance, so a chooser can tell transitions apart. *)
 
 val schedule : t -> delay:Time.span -> (unit -> unit) -> timer
 (** Run a thunk [delay] from now. A non-positive delay means "immediately
     after currently posted work". *)
+
+val schedule_tag : t -> delay:Time.span -> tag -> (unit -> unit) -> timer
+(** {!schedule} with provenance (surfaces when the timer comes due). *)
 
 val schedule_at : t -> time:Time.t -> (unit -> unit) -> timer
 (** Like {!schedule} with an absolute deadline (clamped to now). *)

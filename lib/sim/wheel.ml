@@ -355,6 +355,20 @@ let pop t =
   | [] -> (
     match take_scan t with None -> None | Some e -> Some (e.time, e.value))
 
+(* [pop] returning the whole entry, for callers (the engine's schedule
+   explorer) that need the payload together with its identity *)
+let pop_handle t =
+  settle_due t;
+  match t.due with
+  | e :: tl ->
+    drain_due t e tl;
+    Some e
+  | [] -> take_scan t
+
+let seq (h : 'a handle) = h.seq
+let value (h : 'a handle) = h.value
+let time (h : 'a handle) = h.time
+
 (* allocation-free pop for the scheduler hot loop: returns [default] when
    empty; the popped entry's time is left in [pos] *)
 let take_or t ~default =

@@ -1,0 +1,261 @@
+(* Tests for the schedule-space checker: chooser plumbing, DPOR
+   persistent sets, the sanitizer, net choice mode, exploration results,
+   and the static-certificate cross-check. The key contract under test:
+   the deliberately-broken fixture is invisible to a single
+   (program-order) run and caught only by exploration. *)
+
+module E = Check.Explore
+module F = Analysis.Finding
+
+let check_bool = Alcotest.(check bool)
+let check_int = Alcotest.(check int)
+
+let budget ?(schedules = 500) () =
+  { E.default_budget with E.max_schedules = schedules }
+
+let scenario name =
+  match Check.Registry.find name with
+  | Some sc -> sc
+  | None -> Alcotest.failf "scenario %s not registered" name
+
+let has_rule rule fs = List.exists (fun f -> f.F.rule = rule) fs
+
+(* ------------------------------------------------------------------ *)
+(* engine chooser: the decision index selects among enabled transitions *)
+
+let order_with pick =
+  let engine = Sim.Engine.create () in
+  let sched = Depfast.Sched.create engine in
+  let order = ref [] in
+  Sim.Engine.set_chooser engine pick;
+  for i = 1 to 2 do
+    Depfast.Sched.spawn sched ~node:i
+      ~name:(Printf.sprintf "w%d" i)
+      (fun () -> order := i :: !order)
+  done;
+  Depfast.Sched.run sched;
+  List.rev !order
+
+let test_chooser_controls_order () =
+  Alcotest.(check (list int)) "default order" [ 1; 2 ] (order_with (fun _ -> 0));
+  Alcotest.(check (list int)) "alternative decision flips it" [ 2; 1 ]
+    (order_with (fun tags -> Array.length tags - 1))
+
+(* ------------------------------------------------------------------ *)
+(* persistent sets: conflict closure over node footprints *)
+
+let test_persistent_set_independence () =
+  let tags = [| Sim.Engine.On_node 0; Sim.Engine.On_node 1; Sim.Engine.On_node 0 |] in
+  let inset = E.persistent_set tags 0 in
+  check_bool "chosen transition in its own set" true inset.(0);
+  check_bool "other-node transition pruned" false inset.(1);
+  check_bool "same-node transition conflicts" true inset.(2)
+
+let test_persistent_set_anon_conflicts_all () =
+  (* unknown provenance must be treated as conflicting with everything *)
+  let tags = [| Sim.Engine.Anon; Sim.Engine.On_node 1; Sim.Engine.Link (0, 2) |] in
+  let inset = E.persistent_set tags 0 in
+  check_bool "anon closure swallows the enabled set" true
+    (inset.(0) && inset.(1) && inset.(2))
+
+let test_link_footprint_is_destination () =
+  check_bool "links to distinct nodes are independent" false
+    (E.conflicts (Sim.Engine.Link (0, 1)) (Sim.Engine.Link (0, 2)));
+  check_bool "links into one node conflict" true
+    (E.conflicts (Sim.Engine.Link (0, 1)) (Sim.Engine.Link (2, 1)));
+  check_bool "delivery conflicts with its target's coroutines" true
+    (E.conflicts (Sim.Engine.Link (0, 1)) (Sim.Engine.On_node 1))
+
+(* ------------------------------------------------------------------ *)
+(* sanitizer: a coroutine parked when the engine has drained is a hang *)
+
+let test_sanitizer_parked_at_quiescence () =
+  let engine = Sim.Engine.create () in
+  let sched = Depfast.Sched.create engine in
+  let san = Check.Sanitizer.create sched in
+  Depfast.Sched.spawn sched ~name:"stuck" (fun () ->
+      Depfast.Sched.wait sched (Depfast.Event.signal ~label:"never-fired" ()));
+  Depfast.Sched.run sched;
+  check_int "one coroutine parked" 1 (Check.Sanitizer.parked_count san);
+  Check.Sanitizer.check_quiescent san;
+  let vs = Check.Sanitizer.violations san in
+  check_bool "hang detected" true
+    (List.exists (fun v -> v.Check.Sanitizer.rule = F.parked_at_quiescence) vs);
+  match List.find_opt (fun v -> v.Check.Sanitizer.rule = F.parked_at_quiescence) vs with
+  | Some v -> Alcotest.(check string) "attributed" "stuck" v.Check.Sanitizer.coroutine
+  | None -> ()
+
+let test_sanitizer_clean_run_is_silent () =
+  let engine = Sim.Engine.create () in
+  let sched = Depfast.Sched.create engine in
+  let san = Check.Sanitizer.create sched in
+  let ev = Depfast.Event.signal () in
+  Depfast.Sched.spawn sched ~name:"waiter" (fun () -> Depfast.Sched.wait sched ev);
+  Depfast.Sched.spawn sched ~name:"firer" (fun () -> Depfast.Event.fire ev);
+  Depfast.Sched.run sched;
+  Check.Sanitizer.check_quiescent san;
+  check_int "no violations" 0 (List.length (Check.Sanitizer.violations san))
+
+(* ------------------------------------------------------------------ *)
+(* net choice mode: immediate tagged deliveries, FIFO preserved *)
+
+let test_net_choice_mode_fifo () =
+  let engine = Sim.Engine.create () in
+  let sched = Depfast.Sched.create engine in
+  let net = Cluster.Net.create sched ~latency:(Sim.Dist.Constant 50.0) () in
+  let a = Cluster.Node.create sched ~id:0 ~name:"a" () in
+  let b = Cluster.Node.create sched ~id:1 ~name:"b" () in
+  let got = ref [] in
+  Cluster.Net.register net a ~handler:(fun ~src:_ _ -> ());
+  Cluster.Net.register net b ~handler:(fun ~src:_ m -> got := m :: !got);
+  Cluster.Net.set_choice_mode net true;
+  let fifo_bad = ref 0 in
+  Cluster.Net.set_sanitizer net (fun _ -> incr fifo_bad);
+  for i = 1 to 10 do
+    Cluster.Net.send net ~src:0 ~dst:1 i
+  done;
+  Depfast.Sched.run sched;
+  Alcotest.(check (list int)) "all delivered, per-link FIFO"
+    [ 1; 2; 3; 4; 5; 6; 7; 8; 9; 10 ] (List.rev !got);
+  check_int "no fifo violations" 0 !fifo_bad;
+  check_int "no virtual latency in choice mode" 0 (Sim.Engine.now engine)
+
+(* ------------------------------------------------------------------ *)
+(* exploration: clean scenarios enumerate without findings *)
+
+let test_quorum_majority_exhausts_clean () =
+  let res = E.explore ~budget:(budget ~schedules:2500 ()) (scenario "quorum-majority") in
+  check_bool "frontier exhausted" true res.E.complete;
+  check_bool "hundreds of interleavings" true (res.E.schedules > 100);
+  check_int "no findings" 0 (List.length res.E.findings)
+
+let test_dpor_prunes_raft () =
+  let res = E.explore ~budget:(budget ~schedules:60 ()) (scenario "raft-elect-3") in
+  check_bool "independent alternatives pruned" true (res.E.pruned > 0);
+  check_int "safety holds on every explored schedule" 0 (List.length res.E.findings)
+
+let test_explore_is_deterministic () =
+  let sc = scenario "broken-quorum" in
+  let show r = List.map F.to_string r.E.findings in
+  let r1 = E.explore ~budget:(budget ~schedules:300 ()) sc in
+  let r2 = E.explore ~budget:(budget ~schedules:300 ()) sc in
+  check_int "same schedule count" r1.E.schedules r2.E.schedules;
+  Alcotest.(check (list string)) "same findings, same order" (show r1) (show r2)
+
+(* ------------------------------------------------------------------ *)
+(* the broken fixture: clean on the program-order schedule, caught by
+   exploration — the whole reason the explorer exists *)
+
+let test_broken_fixture_needs_exploration () =
+  let sc = scenario "broken-quorum" in
+  let r0 = E.run_one sc ~prefix:[||] ~budget:(budget ()) in
+  check_bool "program-order run quiesces" true r0.E.r_quiescent;
+  check_int "program-order run sees nothing" 0 (List.length r0.E.r_violations);
+  let res = E.explore ~budget:(budget ~schedules:1000 ()) sc in
+  check_bool "exploration finds the hang" true
+    (has_rule F.unsatisfiable_wait res.E.findings);
+  check_bool "and the degenerate rewiring" true
+    (has_rule F.dynamic_red_wait res.E.findings)
+
+let test_certificate_mismatch_on_broken_fixture () =
+  (* the fixture's waits are quorum-shaped, so the static passes (and
+     hence the certificate) hold the file clean; dynamic evidence to the
+     contrary must surface as certificate-mismatch *)
+  let certs = Check.Certificate.of_findings ~files:[ "lib/check/fixtures.ml" ] [] in
+  check_bool "fixture certified clean" true
+    (Check.Certificate.clean certs "lib/check/fixtures.ml");
+  let res =
+    E.explore ~budget:(budget ~schedules:1000 ()) ~certs (scenario "broken-quorum")
+  in
+  check_bool "static certificate contradicted" true
+    (has_rule F.certificate_mismatch res.E.findings)
+
+let test_flagged_file_is_not_clean () =
+  let finding =
+    F.v ~rule:F.red_wait ~severity:F.Error
+      ~loc:(F.File { file = "lib/raft/client.ml"; line = 3 })
+      "bare wait"
+  in
+  let certs = Check.Certificate.of_findings ~files:[ "lib/raft/client.ml" ] [ finding ] in
+  check_bool "covered" true (Check.Certificate.covered certs "lib/raft/client.ml");
+  check_bool "not clean" false (Check.Certificate.clean certs "lib/raft/client.ml");
+  check_bool "uncovered file is not clean either" false
+    (Check.Certificate.clean certs "lib/raft/server.ml")
+
+(* ------------------------------------------------------------------ *)
+(* satellite: report order must not depend on source discovery order *)
+
+let test_report_order_shuffle_invariant () =
+  let left =
+    {|let log_mu = Depfast.Mutex.create ()
+let flush sched = Depfast.Mutex.with_lock sched log_mu (fun () -> Right.sync sched)
+|}
+  in
+  let right =
+    {|let snap_mu = Depfast.Mutex.create ()
+let sync sched = Depfast.Mutex.with_lock sched snap_mu (fun () -> Left.flush sched)
+|}
+  in
+  let show fs = List.map F.to_string fs in
+  let fs1 = Analysis.Interproc.analyze_sources [ ("left.ml", left); ("right.ml", right) ] in
+  let fs2 = Analysis.Interproc.analyze_sources [ ("right.ml", right); ("left.ml", left) ] in
+  check_bool "fixture produces findings" true (fs1 <> []);
+  Alcotest.(check (list string)) "same report either way" (show fs1) (show fs2)
+
+let test_by_location_total_order () =
+  let f ~file ~line ~rule ~sev msg = F.v ~rule ~severity:sev ~loc:(F.File { file; line }) msg in
+  let fs =
+    [
+      f ~file:"b.ml" ~line:1 ~rule:"red-wait" ~sev:F.Error "m";
+      f ~file:"a.ml" ~line:9 ~rule:"red-wait" ~sev:F.Error "m";
+      f ~file:"a.ml" ~line:2 ~rule:"unbounded-wait" ~sev:F.Warning "m";
+      f ~file:"a.ml" ~line:2 ~rule:"red-wait" ~sev:F.Error "m";
+    ]
+  in
+  let sorted l = List.map F.to_string (List.sort F.by_location l) in
+  Alcotest.(check (list string)) "sort is permutation-invariant" (sorted fs)
+    (sorted (List.rev fs));
+  match List.sort F.by_location fs with
+  | a :: b :: _ ->
+    check_bool "file then line then rule" true
+      (F.loc_string a.F.loc = "a.ml:2" && a.F.rule = "red-wait"
+      && F.loc_string b.F.loc = "a.ml:2" && b.F.rule = "unbounded-wait")
+  | _ -> Alcotest.fail "unreachable"
+
+let suite =
+  [
+    ( "check.explore",
+      [
+        Alcotest.test_case "chooser controls order" `Quick test_chooser_controls_order;
+        Alcotest.test_case "persistent set independence" `Quick
+          test_persistent_set_independence;
+        Alcotest.test_case "anon conflicts with all" `Quick
+          test_persistent_set_anon_conflicts_all;
+        Alcotest.test_case "link footprint" `Quick test_link_footprint_is_destination;
+        Alcotest.test_case "quorum-majority exhausts clean" `Quick
+          test_quorum_majority_exhausts_clean;
+        Alcotest.test_case "DPOR prunes raft" `Quick test_dpor_prunes_raft;
+        Alcotest.test_case "deterministic results" `Quick test_explore_is_deterministic;
+        Alcotest.test_case "broken fixture needs exploration" `Quick
+          test_broken_fixture_needs_exploration;
+      ] );
+    ( "check.sanitizer",
+      [
+        Alcotest.test_case "parked at quiescence" `Quick
+          test_sanitizer_parked_at_quiescence;
+        Alcotest.test_case "clean run silent" `Quick test_sanitizer_clean_run_is_silent;
+        Alcotest.test_case "net choice mode FIFO" `Quick test_net_choice_mode_fifo;
+      ] );
+    ( "check.certificate",
+      [
+        Alcotest.test_case "mismatch on broken fixture" `Quick
+          test_certificate_mismatch_on_broken_fixture;
+        Alcotest.test_case "flagged file not clean" `Quick test_flagged_file_is_not_clean;
+      ] );
+    ( "check.ordering",
+      [
+        Alcotest.test_case "shuffle-invariant reports" `Quick
+          test_report_order_shuffle_invariant;
+        Alcotest.test_case "by_location total order" `Quick test_by_location_total_order;
+      ] );
+  ]

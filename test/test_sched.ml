@@ -274,6 +274,102 @@ let test_trace_stats_online () =
   check_bool "online records" true (Depfast.Trace_stats.histogram stats "n3" <> None);
   check_int "timeout counted" 1 (Depfast.Trace_stats.timeouts stats "n3")
 
+(* ------------------------------------------------------------------ *)
+(* condvar / mutex edge cases: pin the current semantics *)
+
+let test_condvar_broadcast_no_waiters () =
+  let s = make_sched () in
+  let cv = Condvar.create () in
+  Condvar.broadcast cv;
+  (* nobody was waiting: the broadcast is spent, not banked — a waiter
+     arriving afterwards waits for the *next* broadcast *)
+  let woke = ref false in
+  Sched.spawn s (fun () ->
+      Condvar.wait s cv;
+      woke := true);
+  Sched.spawn s (fun () ->
+      Sched.yield s;
+      Condvar.broadcast cv);
+  Sched.run s;
+  check_bool "waiter needed the second broadcast" true !woke
+
+let test_condvar_capture_before_broadcast () =
+  let s = make_sched () in
+  let cv = Condvar.create () in
+  (* the lost-wakeup-free idiom: capture the generation first, then a
+     broadcast landing before the wait leaves the captured event fired *)
+  let gen = Condvar.event cv in
+  Condvar.broadcast cv;
+  let woke = ref false in
+  Sched.spawn s (fun () ->
+      Sched.wait s gen;
+      woke := true);
+  Sched.run s;
+  check_bool "pre-fired generation does not park" true !woke;
+  check_int "no virtual time consumed" 0 (Sched.now s)
+
+let test_mutex_unlock_unheld_raises () =
+  let mu = Mutex.create () in
+  (match Mutex.unlock mu with
+  | () -> Alcotest.fail "unlock on an unheld mutex must raise"
+  | exception Invalid_argument _ -> ());
+  check_bool "still unlocked" false (Mutex.locked mu)
+
+let test_mutex_unlock_from_non_owner () =
+  (* the mutex tracks held-ness, not ownership: an unlock from a
+     coroutine that never locked silently hands the section to the next
+     waiter. This pins the permissive current behavior — catching such
+     protocol misuse is the schedule checker's job, not the type's. *)
+  let s = make_sched () in
+  let mu = Mutex.create () in
+  let entered_at = ref (-1) in
+  Sched.spawn s ~name:"holder" (fun () ->
+      Mutex.lock s mu;
+      Sched.sleep s (Sim.Time.ms 5));
+  Sched.spawn s ~name:"waiter" (fun () ->
+      Sched.yield s;
+      Mutex.lock s mu;
+      entered_at := Sched.now s);
+  Sched.spawn s ~name:"interloper" (fun () ->
+      Sched.sleep s (Sim.Time.ms 1);
+      Mutex.unlock mu);
+  Sched.run s;
+  check_int "waiter entered off the interloper's unlock" (Sim.Time.ms 1) !entered_at;
+  check_bool "handoff left the mutex held" true (Mutex.locked mu)
+
+(* ------------------------------------------------------------------ *)
+(* Spg.audit dedup: one line per violation site, with an occurrence count *)
+
+let audit_dedup_trace () =
+  let engine = Sim.Engine.create () in
+  let trace = Trace.create ~enabled:true () in
+  let s = Sched.create ~trace engine in
+  Sched.spawn s ~node:9 ~name:"client" (fun () ->
+      for _ = 1 to 3 do
+        let reply = Event.rpc_completion ~label:"req" ~peer:0 () in
+        ignore
+          (Sim.Engine.schedule engine ~delay:(Sim.Time.ms 1) (fun () ->
+               Event.fire reply));
+        (* depfast-lint: allow red-wait unbounded-wait — the wait under test *)
+        Sched.wait s reply
+      done);
+  Sched.run s;
+  trace
+
+let test_audit_dedup_counts_occurrences () =
+  let trace = audit_dedup_trace () in
+  match Spg.audit trace with
+  | [ v ] ->
+    check_int "three occurrences collapsed into one site" 3 v.Spg.v_count;
+    check_int "stalling peer" 0 v.Spg.v_peer
+  | vs -> Alcotest.failf "expected one deduplicated site, got %d" (List.length vs)
+
+let test_audit_dedup_escape_hatch () =
+  let trace = audit_dedup_trace () in
+  let raw = Spg.audit ~dedup:false trace in
+  check_int "raw list keeps every occurrence" 3 (List.length raw);
+  List.iter (fun v -> check_int "raw entries count 1 each" 1 v.Spg.v_count) raw
+
 let suite =
   [
     ( "sched.coroutine",
@@ -290,9 +386,23 @@ let suite =
         Alcotest.test_case "timer event" `Quick test_timer_event;
         Alcotest.test_case "10k coroutines" `Quick test_many_coroutines_scale;
       ] );
+    ( "sched.edge-cases",
+      [
+        Alcotest.test_case "broadcast with zero waiters" `Quick
+          test_condvar_broadcast_no_waiters;
+        Alcotest.test_case "capture before broadcast" `Quick
+          test_condvar_capture_before_broadcast;
+        Alcotest.test_case "unlock unheld raises" `Quick test_mutex_unlock_unheld_raises;
+        Alcotest.test_case "unlock from non-owner" `Quick test_mutex_unlock_from_non_owner;
+      ] );
     ( "sched.trace",
       [
         Alcotest.test_case "quorum arity recorded" `Quick test_trace_records_quorum_arity;
+      ] );
+    ( "spg.dedup",
+      [
+        Alcotest.test_case "occurrence counting" `Quick test_audit_dedup_counts_occurrences;
+        Alcotest.test_case "~dedup:false escape hatch" `Quick test_audit_dedup_escape_hatch;
       ] );
     ( "trace_stats",
       [
