@@ -24,6 +24,8 @@ let macro_stats : (float * float * float * float) option ref = ref None
 (* tput, p50 ms, p99 ms, leader cpu *)
 let check_stats : (int * int * float * int) option ref = ref None
 (* schedules, pruned, wall ms, findings *)
+let bounds_stats : (int * float * int * int) option ref = ref None
+(* files, wall ms, findings, certificates *)
 
 (* static-analysis probe: wall time of the per-file lint plus the
    whole-project interprocedural pass over the library sources — the
@@ -50,6 +52,31 @@ let run_lint_json () =
     lint_stats := Some (List.length files, ms, List.length fs);
     Printf.printf "lint probe: %d file(s), %d finding(s) in %.1f ms\n%!" (List.length files)
       (List.length fs) ms
+
+(* boundedness probe: wall time of the depfast-bounds pass (growth,
+   timeout coverage, retry coverage plus certificate emission) over the
+   library sources — certificates feed the gauge cross-check, so this
+   pass too must stay build-cheap *)
+let run_bounds_json () =
+  match List.find_opt Sys.file_exists [ "../lib"; "lib" ] with
+  | None -> Printf.printf "bounds probe: sources not available, skipped\n%!"
+  | Some root ->
+    let rec walk p acc =
+      if Sys.is_directory p then
+        Sys.readdir p |> Array.to_list |> List.sort compare
+        |> List.fold_left (fun acc e -> walk (Filename.concat p e) acc) acc
+      else if Filename.check_suffix p ".ml" && not (Filename.check_suffix p ".pp.ml") then
+        p :: acc
+      else acc
+    in
+    let files = List.rev (walk root []) in
+    let t0 = Unix.gettimeofday () in
+    let fs, certs = Analysis.Bounds.analyze_files files in
+    let ms = (Unix.gettimeofday () -. t0) *. 1000.0 in
+    bounds_stats := Some (List.length files, ms, List.length fs, List.length certs);
+    Printf.printf
+      "bounds probe: %d file(s), %d finding(s), %d certificate(s) in %.1f ms\n%!"
+      (List.length files) (List.length fs) (List.length certs) ms
 
 (* trace overhead probe: the same DepFastRaft quick cell with the wait-trace
    ring disabled and enabled; tracing must cost well under 10% throughput *)
@@ -144,19 +171,20 @@ let run_experiment ~json quick = function
     if json then micro_results := rs;
     Micro.print rs
   | "lint" -> run_lint_json ()
+  | "bounds" -> run_bounds_json ()
   | "macro" -> run_macro_json quick
   | "check" -> run_check_json ()
   | other ->
     Printf.eprintf
       "unknown experiment %S (expected \
-       table1|fig1|fig2|fig3|ablation|mitigation|micro|lint|macro|check)\n"
+       table1|fig1|fig2|fig3|ablation|mitigation|micro|lint|bounds|macro|check)\n"
       other;
     exit 2
 
 let all =
   [
     "table1"; "fig1"; "fig2"; "fig3"; "ablation"; "mitigation"; "micro"; "lint";
-    "macro"; "check";
+    "bounds"; "macro"; "check";
   ]
 
 (* hand-rolled JSON: two flat sections, no escaping needed beyond labels
@@ -196,6 +224,14 @@ let write_json path =
       (Printf.sprintf
          ",\n  \"lint\": {\"files\": %d, \"wall_ms\": %.2f, \"findings\": %d}" files ms
          findings)
+  | None -> ());
+  (match !bounds_stats with
+  | Some (files, ms, findings, certs) ->
+    Buffer.add_string buf
+      (Printf.sprintf
+         ",\n  \"bounds\": {\"files\": %d, \"wall_ms\": %.2f, \"findings\": %d, \
+          \"certificates\": %d}"
+         files ms findings certs)
   | None -> ());
   (match !check_stats with
   | Some (schedules, pruned, ms, findings) ->

@@ -1,9 +1,12 @@
 (* depfast-lint: static fail-slow analysis over OCaml sources.
 
    Walks the given paths (default: lib examples bench), runs the
-   per-file lint over every .ml file and — with [--interproc] — the
+   per-file lint over every .ml file, — with [--interproc] — the
    whole-project pass (module summaries, cross-module red waits,
-   lock-order cycles, quorum arity) over all of them together.
+   lock-order cycles, quorum arity) over all of them together, and —
+   with [--bounds] — the boundedness & timeout-coverage pass
+   (unbounded-growth, missing-deadline, unbounded-retry) plus its
+   boundedness certificates.
 
    Exit discipline: 0 when nothing gates, 1 when findings gate, 2 on
    usage errors. By default only unallowed [error]-severity findings
@@ -12,8 +15,8 @@
    findings either way. *)
 
 let usage =
-  "usage: depfast_lint [--quiet] [--strict] [--interproc] [--format text|json] [--rules] \
-   [path ...]"
+  "usage: depfast_lint [--quiet] [--strict] [--interproc] [--bounds] [--format text|json] \
+   [--rules] [path ...]"
 
 let rec walk path acc =
   if Sys.is_directory path then
@@ -31,6 +34,7 @@ let () =
   let quiet = ref false in
   let strict = ref false in
   let interproc = ref false in
+  let bounds = ref false in
   let format = ref `Text in
   let paths = ref [] in
   let show_rules = ref false in
@@ -52,6 +56,7 @@ let () =
           | "--quiet" | "-q" -> quiet := true
           | "--strict" -> strict := true
           | "--interproc" -> interproc := true
+          | "--bounds" -> bounds := true
           | "--format" -> expect_format := true
           | "--rules" -> show_rules := true
           | "--help" | "-h" ->
@@ -79,13 +84,41 @@ let () =
     exit 2
   end;
   let files = List.rev (List.fold_left (fun acc p -> walk p acc) [] roots) in
-  let findings = List.concat_map Analysis.Source_lint.lint_file files in
-  let findings =
-    if !interproc then findings @ Analysis.Interproc.analyze_files files else findings
+  (* each finding is tagged with its originating pass; identical findings
+     reported by more than one pass are deduplicated, first pass wins *)
+  let tagged =
+    List.map (fun f -> ("source-lint", f)) (List.concat_map Analysis.Source_lint.lint_file files)
   in
-  let findings = List.sort Analysis.Finding.by_location findings in
+  let tagged =
+    if !interproc then
+      tagged @ List.map (fun f -> ("interproc", f)) (Analysis.Interproc.analyze_files files)
+    else tagged
+  in
+  let tagged, certs =
+    if !bounds then begin
+      let fs, certs = Analysis.Bounds.analyze_files files in
+      (tagged @ List.map (fun f -> ("bounds", f)) fs, certs)
+    end
+    else (tagged, [])
+  in
+  let tagged =
+    List.stable_sort (fun (_, a) (_, b) -> Analysis.Finding.by_location a b) tagged
+  in
+  let tagged =
+    let rec dedup = function
+      | (p1, f1) :: (_, f2) :: rest when Analysis.Finding.by_location f1 f2 = 0 ->
+        dedup ((p1, f1) :: rest)
+      | x :: rest -> x :: dedup rest
+      | [] -> []
+    in
+    dedup tagged
+  in
+  let findings = List.map snd tagged in
   let gating = Analysis.Finding.gating ~strict:!strict findings in
   let unallowed = Analysis.Finding.unallowed findings in
+  let bounded, flagged =
+    List.partition (fun c -> c.Analysis.Growth.c_verdict = Analysis.Growth.Bounded) certs
+  in
   (match !format with
   | `Text ->
     List.iter
@@ -93,25 +126,44 @@ let () =
         if not (!quiet && f.Analysis.Finding.allowed) then
           print_endline (Analysis.Finding.to_string f))
       findings;
-    Printf.printf "depfast-lint: %d file(s), %d finding(s), %d unallowed, %d gating%s\n"
+    Printf.printf "depfast-lint: %d file(s), %d finding(s), %d unallowed, %d gating%s%s\n"
       (List.length files) (List.length findings) (List.length unallowed)
       (List.length gating)
       (if !interproc then " [interproc]" else "")
+      (if !bounds then
+         Printf.sprintf " [bounds: %d site(s) certified, %d flagged]" (List.length bounded)
+           (List.length flagged)
+       else "")
   | `Json ->
     (* one JSON document: summary + findings array, one finding per line *)
     Printf.printf
       "{ \"files\": %d, \"findings\": %d, \"unallowed\": %d, \"gating\": %d, \
-       \"interproc\": %b, \"strict\": %b, \"results\": [\n"
+       \"interproc\": %b, \"bounds\": %b, \"strict\": %b, \"results\": [\n"
       (List.length files) (List.length findings) (List.length unallowed)
-      (List.length gating) !interproc !strict;
+      (List.length gating) !interproc !bounds !strict;
     let shown =
-      if !quiet then List.filter (fun (f : Analysis.Finding.t) -> not f.allowed) findings
-      else findings
+      if !quiet then
+        List.filter (fun ((_, f) : _ * Analysis.Finding.t) -> not f.Analysis.Finding.allowed) tagged
+      else tagged
     in
     List.iteri
-      (fun i f ->
-        Printf.printf "  %s%s\n" (Analysis.Finding.to_json f)
+      (fun i (pass, f) ->
+        let json = Analysis.Finding.to_json f in
+        (* graft the id and pass into the object: {"id": ..., "pass": ..., <fields>} *)
+        let body = String.sub json 1 (String.length json - 1) in
+        Printf.printf "  {\"id\": \"%s\", \"pass\": \"%s\", %s%s\n"
+          (Analysis.Finding.stable_id ~pass f)
+          pass body
           (if i < List.length shown - 1 then "," else ""))
       shown;
-    print_string "] }\n");
+    if !bounds then begin
+      Printf.printf "], \"certificates\": [\n";
+      List.iteri
+        (fun i c ->
+          Printf.printf "  %s%s\n" (Analysis.Growth.cert_to_json c)
+            (if i < List.length certs - 1 then "," else ""))
+        certs;
+      print_string "] }\n"
+    end
+    else print_string "] }\n");
   exit (if gating = [] then 0 else 1)

@@ -1,0 +1,267 @@
+module SL = Source_lint
+
+type cert = Growth.cert = {
+  c_rule : string;
+  c_kind : string;
+  c_file : string;
+  c_line : int;
+  c_site : string;
+  c_verdict : Growth.verdict;
+  c_evidence : string;
+}
+
+(* ---- timeout coverage ------------------------------------------------ *)
+
+(* Per function: quorums bound to local names, whether a timer escape
+   was wired in ([Event.add q ~child:(Sched.timer ...)] or rebinding
+   through [Event.or_]), and how each one is waited on. The per-file
+   lint already covers bare remote completions (red-wait/unbounded-wait);
+   quorum waits are green to it, so the untimed ones are exactly the
+   uncovered gap this rule closes. *)
+let scan_waits p (fc : Growth.file_ctx) (f : Growth.fn) ~emit ~cert =
+  let a = fc.Growth.fc_toks in
+  let pm = fc.Growth.fc_pm in
+  let n = f.Growth.g_e in
+  let quorums = Hashtbl.create 4 in
+  let timered = Hashtbl.create 4 in
+  let i = ref f.Growth.g_b in
+  while !i < n do
+    (match SL.binding_at a pm !i with
+    | Some (SL.PVar name, SL.RHead (Some h), _) ->
+      let l2 = SL.last2 h in
+      if l2 = "Event.quorum" then Hashtbl.replace quorums name a.(!i).Lexer.line
+      else begin
+        Hashtbl.remove quorums name;
+        Hashtbl.remove timered name
+      end;
+      if l2 = "Event.or_" then Hashtbl.replace timered name ()
+    | Some (SL.PVar name, _, _) ->
+      Hashtbl.remove quorums name;
+      Hashtbl.remove timered name
+    | _ -> ());
+    if Lexer.is_ident a.(!i).Lexer.text then begin
+      let name, line, ni = SL.qualified a !i in
+      (match SL.last2 name with
+      | "Event.add" -> (
+        (* [Event.add q ~child:<atom>]: a timer child is an escape *)
+        let parent, i1 = SL.parse_atom a pm ni in
+        match parent with
+        | SL.AName q when SL.is_simple q && Hashtbl.mem quorums q ->
+          if
+            i1 + 3 < n
+            && a.(i1).Lexer.text = "~"
+            && a.(i1 + 1).Lexer.text = "child"
+            && a.(i1 + 2).Lexer.text = ":"
+          then begin
+            let child, _ = SL.parse_atom a pm (i1 + 3) in
+            let timerish h = List.mem (SL.last2 h) [ "Sched.timer"; "Event.timer_kind" ] in
+            match child with
+            | SL.AName h when timerish h -> Hashtbl.replace timered q ()
+            | SL.AParen (Some h) when timerish h -> Hashtbl.replace timered q ()
+            | _ -> ()
+          end
+        | _ -> ())
+      | "Sched.wait" -> (
+        let _sched, i1 = SL.parse_atom a pm ni in
+        let ev, _ = SL.parse_atom a pm i1 in
+        match ev with
+        | SL.AName q when SL.is_simple q && Hashtbl.mem quorums q ->
+          if Hashtbl.mem timered q then
+            cert
+              {
+                c_rule = Finding.missing_deadline;
+                c_kind = "quorum-wait";
+                c_file = fc.Growth.fc_path;
+                c_line = line;
+                c_site = q;
+                c_verdict = Growth.Bounded;
+                c_evidence = "timer escape wired into the quorum";
+              }
+          else if Growth.remote_reachable p f.Growth.g_qname then begin
+            emit ~line
+              (Printf.sprintf
+                 "untimed wait on quorum %S with no timer/or_ escape: green to the \
+                  wait-structure rules, but a fail-slow minority still delays it \
+                  without bound — use Sched.wait_timeout or add a Sched.timer child"
+                 q);
+            cert
+              {
+                c_rule = Finding.missing_deadline;
+                c_kind = "quorum-wait";
+                c_file = fc.Growth.fc_path;
+                c_line = line;
+                c_site = q;
+                c_verdict = Growth.Flagged;
+                c_evidence = "no deadline or timer escape on any path";
+              }
+          end
+        | _ -> ())
+      | "Sched.wait_timeout" -> (
+        let _sched, i1 = SL.parse_atom a pm ni in
+        let ev, _ = SL.parse_atom a pm i1 in
+        match ev with
+        | SL.AName q when SL.is_simple q && Hashtbl.mem quorums q ->
+          cert
+            {
+              c_rule = Finding.missing_deadline;
+              c_kind = "quorum-wait";
+              c_file = fc.Growth.fc_path;
+              c_line = line;
+              c_site = q;
+              c_verdict = Growth.Bounded;
+              c_evidence = "deadline via Sched.wait_timeout";
+            }
+        | _ -> ())
+      | _ -> ());
+      i := ni
+    end
+    else incr i
+  done
+
+(* ---- retry coverage -------------------------------------------------- *)
+
+(* A retry loop: a recursion marker ([let rec] inside the item, or a
+   [while]) plus a remote call and a [Timed_out] arm in the same item.
+   It is bounded when the body backs off ([Sched.sleep]) or guards on an
+   attempt bound (a </> comparison against an int literal or a local
+   int constant). *)
+let scan_retries (fc : Growth.file_ctx) (f : Growth.fn) ~emit ~cert =
+  let a = fc.Growth.fc_toks in
+  let n = f.Growth.g_e in
+  let has_rec = ref false in
+  let has_call = ref false in
+  let has_timeout_arm = ref false in
+  let has_sleep = ref false in
+  let has_guard = ref false in
+  let int_names = Hashtbl.create 4 in
+  let is_int_tok k =
+    k >= f.Growth.g_b && k < n
+    &&
+    let t = a.(k).Lexer.text in
+    (t <> "" && t.[0] >= '0' && t.[0] <= '9') || Hashtbl.mem int_names t
+  in
+  (* first sweep: local int constants [let name = 8] *)
+  let i = ref f.Growth.g_b in
+  while !i < n do
+    let t = a.(!i).Lexer.text in
+    if
+      t = "let"
+      && !i + 3 < n
+      && Lexer.is_ident a.(!i + 1).Lexer.text
+      && a.(!i + 2).Lexer.text = "="
+      && (let v = a.(!i + 3).Lexer.text in v <> "" && v.[0] >= '0' && v.[0] <= '9')
+    then Hashtbl.replace int_names a.(!i + 1).Lexer.text ();
+    incr i
+  done;
+  let lastseg name =
+    match String.rindex_opt name '.' with
+    | Some j -> String.sub name (j + 1) (String.length name - j - 1)
+    | None -> name
+  in
+  let i = ref f.Growth.g_b in
+  while !i < n do
+    let t = a.(!i).Lexer.text in
+    if t = "rec" || t = "while" then has_rec := true;
+    if Lexer.is_ident t then begin
+      let name, _, ni = SL.qualified a !i in
+      (* the constructor is usually spelled qualified
+         ([Depfast.Sched.Timed_out]), so match its last segment *)
+      if lastseg name = "Timed_out" then has_timeout_arm := true;
+      (match SL.last2 name with
+      | "Rpc.call" -> has_call := true
+      | "Sched.sleep" -> has_sleep := true
+      | _ -> ());
+      i := ni
+    end
+    else begin
+      (match t with
+      | "<" when !i + 1 < n && a.(!i + 1).Lexer.text = "-" -> ()
+      | "<" | ">" ->
+        let after = if !i + 1 < n && a.(!i + 1).Lexer.text = "=" then !i + 2 else !i + 1 in
+        if is_int_tok after || is_int_tok (!i - 1) then has_guard := true
+      | _ -> ());
+      incr i
+    end
+  done;
+  if !has_rec && !has_call && !has_timeout_arm then
+    if !has_sleep || !has_guard then
+      cert
+        {
+          c_rule = Finding.unbounded_retry;
+          c_kind = "retry";
+          c_file = fc.Growth.fc_path;
+          c_line = f.Growth.g_line;
+          c_site = f.Growth.g_qname;
+          c_verdict = Growth.Bounded;
+          c_evidence =
+            (if !has_sleep && !has_guard then "attempt bound and backoff sleep"
+             else if !has_sleep then "backoff sleep between attempts"
+             else "attempt bound guards the recursion");
+        }
+    else begin
+      emit ~line:f.Growth.g_line
+        (Printf.sprintf
+           "%s retries a remote call on Timed_out with no attempt bound and no \
+            backoff: a fail-slow peer turns this into a tight unbounded resend loop"
+           f.Growth.g_qname);
+      cert
+        {
+          c_rule = Finding.unbounded_retry;
+          c_kind = "retry";
+          c_file = fc.Growth.fc_path;
+          c_line = f.Growth.g_line;
+          c_site = f.Growth.g_qname;
+          c_verdict = Growth.Flagged;
+          c_evidence = "no attempt bound or backoff sleep in the retry body";
+        }
+    end
+
+(* ---- driver ---------------------------------------------------------- *)
+
+let allowed_at pragmas rule line =
+  List.exists
+    (fun (p : Lexer.pragma) ->
+      p.Lexer.p_line <= line && p.Lexer.p_line >= line - 3 && List.mem rule p.Lexer.p_rules)
+    pragmas
+
+let analyze_sources sources =
+  let p = Growth.load sources in
+  let growth_findings, growth_certs = Growth.analyze p in
+  let findings = ref [] in
+  let certs = ref growth_certs in
+  let cert c = certs := c :: !certs in
+  List.iter
+    (fun fc ->
+      List.iter
+        (fun f ->
+          let emit_rule rule ~line msg =
+            findings :=
+              Finding.v ~rule ~severity:Finding.Warning
+                ~loc:(Finding.File { file = fc.Growth.fc_path; line })
+                msg
+              :: !findings
+          in
+          scan_waits p fc f ~emit:(emit_rule Finding.missing_deadline) ~cert;
+          scan_retries fc f ~emit:(emit_rule Finding.unbounded_retry) ~cert)
+        fc.Growth.fc_fns)
+    (Growth.files p);
+  let pragmas_of = Hashtbl.create 16 in
+  List.iter (fun fc -> Hashtbl.replace pragmas_of fc.Growth.fc_path fc.Growth.fc_pragmas) (Growth.files p);
+  let apply (f : Finding.t) =
+    match f.Finding.loc with
+    | Finding.File { file; line } ->
+      let ps = try Hashtbl.find pragmas_of file with Not_found -> [] in
+      if allowed_at ps f.Finding.rule line then { f with Finding.allowed = true } else f
+    | _ -> f
+  in
+  let all = List.map apply (growth_findings @ !findings) in
+  (List.sort_uniq Finding.by_location all, List.sort_uniq Growth.by_site !certs)
+
+let read_file path =
+  let ic = open_in_bin path in
+  let len = in_channel_length ic in
+  let src = really_input_string ic len in
+  close_in ic;
+  src
+
+let analyze_files paths = analyze_sources (List.map (fun p -> (p, read_file p)) paths)

@@ -23,6 +23,11 @@ let lock_across_call = "lock-across-call"
 let lock_order_cycle = "lock-order-cycle"
 let quorum_arity_mismatch = "quorum-arity-mismatch"
 
+(* boundedness & timeout-coverage rules (the depfast-bounds pass) *)
+let unbounded_growth = "unbounded-growth"
+let missing_deadline = "missing-deadline"
+let unbounded_retry = "unbounded-retry"
+
 (* dynamic rules, reported by the schedule-space checker (lib/check) *)
 let lost_wakeup = "lost-wakeup"
 let double_wake = "double-wake"
@@ -34,6 +39,7 @@ let parked_at_quiescence = "parked-at-quiescence"
 let dynamic_red_wait = "dynamic-red-wait"
 let invariant_violation = "invariant-violation"
 let certificate_mismatch = "certificate-mismatch"
+let queue_gauge_overflow = "queue-gauge-overflow"
 
 let rules =
   [
@@ -49,6 +55,11 @@ let rules =
     (lock_across_call, "call into a (transitively) suspending function while a Depfast.Mutex is held");
     (lock_order_cycle, "mutex acquisition-order cycle across functions/modules (static deadlock)");
     (quorum_arity_mismatch, "quorum Count k inconsistent with the peer count flowing into it");
+    (unbounded_growth,
+     "remote-triggered accumulation with no drain, truncation, or capacity check \
+      in the same call-graph component");
+    (missing_deadline, "untimed quorum wait with no timer/or_ escape on any path");
+    (unbounded_retry, "retry loop around a timed-out remote call with no attempt bound or backoff");
     (lost_wakeup, "coroutine parked on an event that is ready, with no wakeup delivered");
     (double_wake, "more than one wakeup delivered for a single park");
     (parked_on_abandoned, "coroutine parked forever on an abandoned event");
@@ -62,6 +73,8 @@ let rules =
     (invariant_violation, "a scenario's terminal-state invariant does not hold");
     (certificate_mismatch,
      "dynamic violation in code the static analyses certified as clean (or vice versa)");
+    (queue_gauge_overflow,
+     "a registered queue/log depth gauge grew monotonically past its declared cap");
   ]
 
 let v ?(allowed = false) ~rule ~severity ~loc message =
@@ -108,6 +121,20 @@ let to_json f =
   Printf.sprintf
     "{%s, \"rule\": \"%s\", \"severity\": \"%s\", \"allowed\": %b, \"message\": \"%s\"}"
     loc_fields (json_escape f.rule) (severity_name f.severity) f.allowed (json_escape f.message)
+
+(* Stable per-finding id: FNV-1a over the identifying fields, so a
+   finding keeps its id across runs, path orderings and unrelated edits
+   (but not across edits to its own file/line/message — an id names a
+   concrete finding, not an abstract defect). *)
+let stable_id ~pass f =
+  let s = Printf.sprintf "%s|%s|%s|%s" pass f.rule (loc_string f.loc) f.message in
+  let h = ref 0xcbf29ce484222325L in
+  String.iter
+    (fun c ->
+      h := Int64.logxor !h (Int64.of_int (Char.code c));
+      h := Int64.mul !h 0x100000001b3L)
+    s;
+  Printf.sprintf "%012Lx" (Int64.logand !h 0xffffffffffffL)
 
 let severity_rank = function Error -> 0 | Warning -> 1 | Info -> 2
 

@@ -60,6 +60,23 @@ val quorum_arity_mismatch : string
     cross-module) exceeds the number of children that statically flow
     into it. *)
 
+val unbounded_growth : string
+(** Boundedness (the depfast-bounds pass): an accumulation site
+    (Queue/Hashtbl/Buffer/[Rlog.append]/list cons) reachable from
+    remote-triggered code with no drain, truncation, or capacity check
+    anywhere in the same call-graph component — the unbounded-backlog
+    shape behind the paper's RethinkDB fail-slow leader. *)
+
+val missing_deadline : string
+(** Timeout coverage: an untimed [Sched.wait] on a quorum with no
+    [Sched.timer]/[Event.or_] escape wired in — a remote minority can
+    still delay it without bound even though the wait is green. *)
+
+val unbounded_retry : string
+(** A self-recursive retry around a timed-out remote call with neither
+    an attempt bound nor a backoff sleep: under a fail-slow peer it
+    turns into a tight, unbounded resend loop. *)
+
 (** Dynamic rules, reported by the schedule-space checker ([lib/check])
     rather than by a static pass. *)
 
@@ -107,6 +124,11 @@ val certificate_mismatch : string
     dynamic violation. Either the static analysis missed a flow or the
     runtime broke an assumption — both are reportable bugs. *)
 
+val queue_gauge_overflow : string
+(** A queue/log depth gauge registered with the sanitizer grew
+    monotonically past its declared cap during exploration — dynamic
+    evidence of an unbounded (or under-provisioned) accumulation. *)
+
 val rules : (string * string) list
 (** All rule ids with one-line descriptions. *)
 
@@ -126,6 +148,10 @@ val gating : strict:bool -> t list -> t list
 
 val to_json : t -> string
 (** One finding as a JSON object (single line, fields escaped). *)
+
+val stable_id : pass:string -> t -> string
+(** A 48-bit FNV-1a hex id over (pass, rule, location, message): stable
+    across runs and path orderings, distinct per concrete finding. *)
 
 val json_escape : string -> string
 (** Escape a string for embedding in a JSON literal. *)

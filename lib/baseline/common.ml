@@ -86,6 +86,9 @@ let enqueue b ~cmd ~client ~seq =
   let p =
     { p_ok = false; p_value = None; p_done = Depfast.Event.signal ~label:"committed" () }
   in
+  (* depfast-lint: allow unbounded-growth — deliberate baseline defect: no
+     admission control on the client->leader path; the only drain is a
+     sibling replicator loop (ROADMAP: bounded backpressure) *)
   Queue.add { q_cmd = cmd; q_client = client; q_seq = seq; q_pending = p } b.pending_q;
   Depfast.Condvar.broadcast b.work_cv;
   p
@@ -110,6 +113,8 @@ let append_batch b batch =
           seq = q.q_seq;
         }
       in
+      (* depfast-lint: allow unbounded-growth — known-unbounded log: the
+         baselines never truncate (ROADMAP: log compaction / snapshots) *)
       Raft.Rlog.append b.rlog e;
       Hashtbl.replace b.by_index e.index q.q_pending;
       e)
@@ -120,12 +125,16 @@ let append_batch b batch =
 let follower_append b entries =
   List.iter
     (fun e ->
+      (* depfast-lint: allow unbounded-growth — known-unbounded log
+         (ROADMAP: log compaction / snapshots) *)
       if e.index = Raft.Rlog.last_index b.rlog + 1 then Raft.Rlog.append b.rlog e)
     entries
 
 let follower_append_a b entries =
   Array.iter
     (fun e ->
+      (* depfast-lint: allow unbounded-growth — known-unbounded log
+         (ROADMAP: log compaction / snapshots) *)
       if e.index = Raft.Rlog.last_index b.rlog + 1 then Raft.Rlog.append b.rlog e)
     entries
 

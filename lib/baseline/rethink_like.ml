@@ -89,6 +89,9 @@ let buffer_entries t entries =
       let buf = Hashtbl.find t.buffers f in
       List.iter
         (fun e ->
+          (* depfast-lint: allow unbounded-growth — deliberate baseline
+             defect: the paper's RethinkDB per-follower backlog (§2);
+             buffered entries are shed only by the drainer, never here *)
           Queue.add e buf.entries;
           let sz = entry_bytes e in
           buf.bytes <- buf.bytes + sz;

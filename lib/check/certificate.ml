@@ -22,18 +22,30 @@ let wait_rules =
 type t = {
   files : (string, unit) Hashtbl.t;  (* every file covered by the certificate *)
   flagged : (string, unit) Hashtbl.t;  (* files with an unallowed wait finding *)
+  growth_flagged : (string, unit) Hashtbl.t;
+      (* files with any unbounded-growth finding, allowed or not: a
+         pragma acknowledges the defect, it does not bound the site, so
+         the boundedness certificate must not vouch for the file *)
 }
 
 let of_findings ~files findings =
-  let t = { files = Hashtbl.create 64; flagged = Hashtbl.create 16 } in
+  let t =
+    {
+      files = Hashtbl.create 64;
+      flagged = Hashtbl.create 16;
+      growth_flagged = Hashtbl.create 16;
+    }
+  in
   List.iter (fun f -> Hashtbl.replace t.files f ()) files;
   List.iter
     (fun (f : Analysis.Finding.t) ->
-      if (not f.Analysis.Finding.allowed) && List.mem f.Analysis.Finding.rule wait_rules
-      then
-        match f.Analysis.Finding.loc with
-        | Analysis.Finding.File { file; _ } -> Hashtbl.replace t.flagged file ()
-        | Analysis.Finding.Node _ -> ())
+      match f.Analysis.Finding.loc with
+      | Analysis.Finding.Node _ -> ()
+      | Analysis.Finding.File { file; _ } ->
+        if (not f.Analysis.Finding.allowed) && List.mem f.Analysis.Finding.rule wait_rules
+        then Hashtbl.replace t.flagged file ();
+        if f.Analysis.Finding.rule = Analysis.Finding.unbounded_growth then
+          Hashtbl.replace t.growth_flagged file ())
     findings;
   t
 
@@ -58,11 +70,13 @@ let rec walk acc path =
 let build ~roots () =
   let files = List.rev (List.fold_left walk [] roots) in
   let sources = List.map (fun p -> (p, read_file p)) files in
+  let bounds_findings, _certs = Analysis.Bounds.analyze_sources sources in
   let findings =
     Analysis.Interproc.analyze_sources sources
     @ List.concat_map
         (fun (p, src) -> Analysis.Source_lint.lint_string ~path:p src)
         sources
+    @ bounds_findings
   in
   of_findings ~files findings
 
@@ -84,8 +98,12 @@ let mem_by_suffix tbl file =
 
 let covered t file = mem_by_suffix t.files file
 let clean t file = covered t file && not (mem_by_suffix t.flagged file)
+let bounded_clean t file = covered t file && not (mem_by_suffix t.growth_flagged file)
 
 let flagged_files t =
   List.sort compare (Hashtbl.fold (fun f () acc -> f :: acc) t.flagged [])
+
+let growth_flagged_files t =
+  List.sort compare (Hashtbl.fold (fun f () acc -> f :: acc) t.growth_flagged [])
 
 let covered_count t = Hashtbl.length t.files

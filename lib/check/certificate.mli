@@ -15,7 +15,8 @@ type t
 
 val build : roots:string list -> unit -> t
 (** Walk the given directories for [.ml] files (skipping [_build] and
-    [.git]), run both static passes, and record per-file verdicts. *)
+    [.git]), run the static passes (including {!Analysis.Bounds}), and
+    record per-file verdicts. *)
 
 val of_findings : files:string list -> Analysis.Finding.t list -> t
 (** Assemble a certificate from already-computed findings (for tests). *)
@@ -27,8 +28,18 @@ val covered : t -> string -> bool
 val clean : t -> string -> bool
 (** Covered and free of unallowed wait-structure findings. *)
 
+val bounded_clean : t -> string -> bool
+(** Covered and free of {e any} [unbounded-growth] finding — allowed or
+    not: a pragma acknowledges a defect without bounding the site, so
+    the boundedness certificate never vouches for a pragma'd file. The
+    explorer's queue-depth gauges cross-check against this verdict. *)
+
 val flagged_files : t -> string list
 (** Certified-set files carrying at least one unallowed wait finding,
     sorted. *)
+
+val growth_flagged_files : t -> string list
+(** Certified-set files carrying at least one unbounded-growth finding
+    (allowed or not), sorted. *)
 
 val covered_count : t -> int

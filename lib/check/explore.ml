@@ -33,6 +33,7 @@ type run = {
   r_truncated : bool;
   r_quiescent : bool;
   r_violations : Sanitizer.violation list;
+  r_overflows : Sanitizer.overflow list;  (* gauges past their declared cap *)
 }
 
 let footprint = function
@@ -78,6 +79,10 @@ let run_one (scenario : Scenario.t) ~prefix ~budget =
   let steps = ref [] in
   let plen = Array.length prefix in
   Engine.set_chooser engine (fun tags ->
+      (* queue-depth watermarks: every choice point is a reachable
+         state, so the gauges see the containers mid-interleaving, not
+         just at the end of the run *)
+      Sanitizer.sample_gauges san;
       let i = !nsteps in
       if i >= budget.max_steps then raise Out_of_steps;
       incr nsteps;
@@ -96,6 +101,7 @@ let run_one (scenario : Scenario.t) ~prefix ~budget =
     Sanitizer.report san ~rule:Analysis.Finding.invariant_violation
       ("uncaught exception: " ^ Printexc.to_string e));
   let quiescent = (not !truncated) && Engine.pending engine = 0 in
+  Sanitizer.sample_gauges san;
   if quiescent then Sanitizer.check_quiescent san else Sanitizer.check_live san;
   List.iter
     (fun msg -> Sanitizer.report san ~rule:Analysis.Finding.invariant_violation msg)
@@ -115,6 +121,7 @@ let run_one (scenario : Scenario.t) ~prefix ~budget =
     r_truncated = !truncated;
     r_quiescent = quiescent;
     r_violations = Sanitizer.violations san;
+    r_overflows = Sanitizer.gauge_overflows san;
   }
 
 (* a deduplicated violation site across all explored schedules *)
@@ -165,6 +172,8 @@ let explore ?(budget = default_budget) ?certs (scenario : Scenario.t) =
     Hashtbl.create 16
   in
   let site_order = ref [] in
+  (* gauge overflows aggregated across schedules: label -> worst case *)
+  let overflows : (string, Sanitizer.overflow) Hashtbl.t = Hashtbl.create 4 in
   while !stack <> [] && !schedules < budget.max_schedules do
     match !stack with
     | [] -> ()
@@ -201,6 +210,12 @@ let explore ?(budget = default_budget) ?certs (scenario : Scenario.t) =
             Hashtbl.replace sites key s;
             site_order := s :: !site_order)
         run.r_violations;
+      List.iter
+        (fun (o : Sanitizer.overflow) ->
+          match Hashtbl.find_opt overflows o.Sanitizer.o_label with
+          | Some prev when prev.Sanitizer.o_watermark >= o.Sanitizer.o_watermark -> ()
+          | _ -> Hashtbl.replace overflows o.Sanitizer.o_label o)
+        run.r_overflows;
       let plen = Array.length prefix in
       if lineage < budget.delay_bound then begin
         let pushes = ref [] in
@@ -252,8 +267,33 @@ let explore ?(budget = default_budget) ?certs (scenario : Scenario.t) =
             | _ -> None)
         dynamic
   in
+  (* the boundedness cross-check: a gauge past its cap over a container
+     whose file the static growth analysis certified bounded means one
+     side is wrong — the static evidence doesn't actually run on the
+     producing path, or the runtime broke an assumption *)
+  let gauge_mismatches =
+    match certs with
+    | None -> []
+    | Some certs ->
+      Hashtbl.fold (fun _ o acc -> o :: acc) overflows []
+      |> List.sort compare
+      |> List.filter_map (fun (o : Sanitizer.overflow) ->
+             if Certificate.bounded_clean certs o.Sanitizer.o_file then
+               Some
+                 (Analysis.Finding.v ~rule:Analysis.Finding.certificate_mismatch
+                    ~severity:Analysis.Finding.Error
+                    ~loc:
+                      (Analysis.Finding.File { file = o.Sanitizer.o_file; line = 0 })
+                    (Printf.sprintf
+                       "%s: gauge %s reached depth %d past its declared cap %d, but \
+                        the static boundedness certificate holds %s clean"
+                       scenario.Scenario.name o.Sanitizer.o_label
+                       o.Sanitizer.o_watermark o.Sanitizer.o_cap o.Sanitizer.o_file))
+             else None)
+  in
   let findings =
     List.map (finding_of_site scenario.Scenario.name) dynamic @ mismatches
+    @ gauge_mismatches
     |> List.sort_uniq (fun a b ->
            let c = Analysis.Finding.by_location a b in
            if c <> 0 then c else compare a b)

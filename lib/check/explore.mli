@@ -33,6 +33,8 @@ type run = {
   r_truncated : bool;
   r_quiescent : bool;  (** engine fully drained (no posted work, no timers) *)
   r_violations : Sanitizer.violation list;
+  r_overflows : Sanitizer.overflow list;
+      (** queue-depth gauges whose watermark passed the declared cap *)
 }
 
 val run_one : Scenario.t -> prefix:int array -> budget:budget -> run
@@ -55,7 +57,10 @@ val explore : ?budget:budget -> ?certs:Certificate.t -> Scenario.t -> result
 (** Enumerate schedules. Each distinct violation site is reported once,
     annotated with how many schedules exhibited it; with [certs], any
     dynamic violation whose coroutine provenance maps into a
-    certified-clean file additionally raises [certificate-mismatch]. *)
+    certified-clean file additionally raises [certificate-mismatch].
+    Queue-depth gauges registered by the scenario are sampled at every
+    choice point and terminal state; an overflow whose file is
+    {!Certificate.bounded_clean} also raises [certificate-mismatch]. *)
 
 (**/**)
 

@@ -32,3 +32,51 @@ let spawn_broken_quorum sched =
         (fun r -> if not (Event.is_ready r) then Event.add q ~child:r)
         replies;
       Sched.wait sched q)
+
+(* A seeded boundedness-certificate mismatch for the queue-depth gauge
+   sanitizer.
+
+   Statically this file is *certified bounded*: the producer's component
+   reaches the consumer (the producer spawns it, and the growth analysis
+   treats closures as invoked), and the consumer drains [backlog] with
+   [Queue.pop] — exactly the evidence shape that certifies the
+   [Queue.add] site. Dynamically the evidence never runs: the consumer
+   parks on a gate that nobody fires, so the producer grows the queue
+   monotonically past its declared cap. The gauge registered over
+   [backlog] watches the live depth during exploration and reports
+   [queue-gauge-overflow]; the explorer, seeing the overflow inside a
+   [bounded_clean] file, escalates it to [certificate-mismatch] — the
+   dynamic half of the depfast-bounds story: a static drain that is
+   structurally present but never scheduled is no bound at all. *)
+
+let backlog = Queue.create ()
+let backlog_cap = 4
+
+let leak_consumer sched gate =
+  let open Depfast in
+  match Sched.wait_timeout sched gate (Sim.Time.ms 1000) with
+  | Sched.Ready ->
+    while not (Queue.is_empty backlog) do
+      ignore (Queue.pop backlog)
+    done
+  | Sched.Timed_out -> ()
+
+let leak_producer sched gate =
+  let open Depfast in
+  Sched.spawn sched ~node:0 ~name:"fx.leak-consumer" (fun () ->
+      leak_consumer sched gate);
+  for i = 1 to 2 * backlog_cap do
+    Queue.add i backlog;
+    Sched.yield sched
+  done
+
+let spawn_leaky_backlog san sched =
+  let open Depfast in
+  (* the store is module-level (so the static pass can name it) but the
+     runs are not: reset between re-executions *)
+  Queue.clear backlog;
+  Sanitizer.add_gauge san ~label:"fx.backlog" ~file:"lib/check/fixtures.ml"
+    ~cap:backlog_cap (fun () -> Queue.length backlog);
+  let gate = Event.signal ~label:"fx.leak-gate" () in
+  Sched.spawn sched ~node:0 ~name:"fx.leak-producer" (fun () ->
+      leak_producer sched gate)

@@ -252,6 +252,30 @@ let broken_quorum =
         { until = None; check = (fun () -> []) });
   }
 
+let leaky_backlog =
+  {
+    name = "leaky-backlog";
+    descr =
+      "deliberately seeded certificate mismatch: a producer overflows a queue \
+       whose drain the static boundedness pass certified, while the consumer \
+       is parked on a gate nobody fires";
+    exhaustive = true;
+    gating = false;
+    (* a known-bad fixture for the queue-depth gauge sanitizer: explored
+       on demand and by the test suite, not part of the CI gate *)
+    modules = [ fixtures_file ];
+    default_schedules = 200;
+    allow = allow_none;
+    provenance = core_provenance;
+    make =
+      (fun san sched ->
+        Fixtures.spawn_leaky_backlog san sched;
+        (* stop well before the consumer's 1000 ms gate timeout: the
+           pending timer keeps the terminal state non-quiescent, so the
+           parked consumer is the scenario's point, not a violation *)
+        { until = Some (Sim.Time.ms 10); check = (fun () -> []) });
+  }
+
 (* ---------- Raft scenarios (bounded, message-passing) ---------- *)
 
 let raft_cfg =
@@ -417,6 +441,7 @@ let all =
     signal_fanout;
     quorum_majority;
     broken_quorum;
+    leaky_backlog;
     raft_elect_3;
     raft_elect_5;
     raft_replicate_3;

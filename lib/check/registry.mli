@@ -1,0 +1,19 @@
+(** The scenario registry: the closed worlds [depfast_check] explores.
+
+    Core scenarios (condvar/mutex/signal/quorum stress) put every
+    coroutine on one node — genuinely shared state, so the footprint
+    heuristic prunes nothing and exploration is exhaustive. The Raft
+    scenarios are share-nothing message-passing, where persistent-set
+    pruning is sound. Two deliberately-defective fixtures
+    ([broken-quorum], [leaky-backlog]) are registered non-gating: the
+    test suite explores them to prove the sanitizers catch their bugs,
+    but they are excluded from the CI gate. *)
+
+val all : Scenario.t list
+(** Every registered scenario, defective fixtures included. *)
+
+val gating_scenarios : Scenario.t list
+(** The CI gate: [all] minus the non-gating fixtures. *)
+
+val find : string -> Scenario.t option
+(** Look a scenario up by name. *)

@@ -22,10 +22,28 @@ type violation = {
   message : string;
 }
 
+(* A queue-depth gauge: a scenario-registered probe over a live
+   container whose boundedness the static pass certified. The explorer
+   samples every gauge at each choice point and at terminal states; a
+   watermark past the declared cap is a [queue-gauge-overflow], and —
+   when the gauge's file is statically certified bounded — a
+   certificate mismatch (the cross-check lives in Explore). *)
+type gauge = {
+  g_label : string;
+  g_file : string;  (* source file owning the container *)
+  g_cap : int;  (* declared bound *)
+  g_read : unit -> int;  (* live depth *)
+  mutable g_watermark : int;
+  mutable g_reported : bool;  (* overflow reported once per run *)
+}
+
+type overflow = { o_label : string; o_file : string; o_cap : int; o_watermark : int }
+
 type t = {
   sched : Depfast.Sched.t;
   coros : (int, coro) Hashtbl.t;
   events : (int, Depfast.Event.t) Hashtbl.t;  (* every event seen at a park *)
+  mutable gauges : gauge list;
   mutable violations : violation list;  (* reverse report order *)
 }
 
@@ -46,9 +64,56 @@ let rec remember_event t ev =
     Depfast.Event.iter_children ev (remember_event t)
   end
 
+let add_gauge t ~label ~file ~cap read =
+  t.gauges <-
+    {
+      g_label = label;
+      g_file = file;
+      g_cap = cap;
+      g_read = read;
+      g_watermark = 0;
+      g_reported = false;
+    }
+    :: t.gauges
+
+(* The violation message is watermark-free on purpose: the explorer
+   dedups sites across schedules by (rule, label, message), and the
+   depth at which a gauge happens to be sampled varies per
+   interleaving. Watermarks travel via {!gauge_overflows}. *)
+let sample_gauges t =
+  List.iter
+    (fun g ->
+      let d = g.g_read () in
+      if d > g.g_watermark then g.g_watermark <- d;
+      if g.g_watermark > g.g_cap && not g.g_reported then begin
+        g.g_reported <- true;
+        report t ~rule:Analysis.Finding.queue_gauge_overflow ~event_label:g.g_label
+          (Printf.sprintf
+             "queue depth exceeded the declared cap %d at a statically certified site \
+              (%s)"
+             g.g_cap g.g_file)
+      end)
+    t.gauges
+
+let gauge_overflows t =
+  List.filter_map
+    (fun g ->
+      if g.g_watermark > g.g_cap then
+        Some
+          { o_label = g.g_label; o_file = g.g_file; o_cap = g.g_cap; o_watermark = g.g_watermark }
+      else None)
+    t.gauges
+  |> List.sort compare
+
 let create sched =
   let t =
-    { sched; coros = Hashtbl.create 64; events = Hashtbl.create 64; violations = [] }
+    {
+      sched;
+      coros = Hashtbl.create 64;
+      events = Hashtbl.create 64;
+      gauges = [];
+      violations = [];
+    }
   in
   let coro_of cid ~node ~name =
     match Hashtbl.find_opt t.coros cid with

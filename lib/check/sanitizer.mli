@@ -21,9 +21,32 @@ type violation = {
   message : string;
 }
 
+type overflow = {
+  o_label : string;
+  o_file : string;  (** source file owning the container *)
+  o_cap : int;  (** declared bound *)
+  o_watermark : int;  (** highest sampled depth *)
+}
+
 val create : Depfast.Sched.t -> t
 (** Installs the monitor on the scheduler (replacing any previous one).
     Use a fresh scheduler per explored run. *)
+
+val add_gauge :
+  t -> label:string -> file:string -> cap:int -> (unit -> int) -> unit
+(** Register a queue-depth gauge over a live container. [file] is the
+    source file owning the container (certificate domain); [cap] its
+    declared bound. The explorer samples all gauges at every choice
+    point and at terminal states. *)
+
+val sample_gauges : t -> unit
+(** Read every gauge, update watermarks, and report a
+    [queue-gauge-overflow] violation (once per gauge per run) when a
+    watermark exceeds its declared cap. *)
+
+val gauge_overflows : t -> overflow list
+(** Gauges whose watermark exceeded the cap, sorted — input to the
+    explorer's boundedness-certificate cross-check. *)
 
 val report :
   t ->

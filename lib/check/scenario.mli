@@ -1,0 +1,41 @@
+(** A scenario: a small closed world the schedule explorer re-executes
+    once per explored interleaving.
+
+    [make] builds all state against a fresh scheduler (wiring any
+    network it creates into choice mode and the sanitizer, and
+    registering any queue-depth gauges); the returned instance tells
+    the explorer how long to run and how to judge the terminal state. *)
+
+type instance = {
+  until : Sim.Time.t option;
+      (** virtual-time deadline for the run; [None] = run to quiescence
+          (only for scenarios with no recurring timers) *)
+  check : unit -> string list;
+      (** terminal-state invariants; one message per violation. Must
+          hold in {e every} interleaving, including truncated ones —
+          prefer safety properties (agreement, at-most-one-leader) over
+          liveness *)
+}
+
+type t = {
+  name : string;
+  descr : string;
+  exhaustive : bool;
+      (** small enough that the default budget fully enumerates it *)
+  gating : bool;  (** part of the default registry run (CI) *)
+  modules : string list;  (** source files exercised — certificate domain *)
+  default_schedules : int;  (** per-scenario schedule budget in [all] runs *)
+  allow : node:int -> bool;  (** [Spg.audit] exemption (clients) *)
+  provenance : string -> string option;
+      (** coroutine name -> source file implementing it, for the
+          certificate cross-check *)
+  make : Sanitizer.t -> Depfast.Sched.t -> instance;
+}
+
+val no_provenance : string -> string option
+val allow_none : node:int -> bool
+val allow_all : node:int -> bool
+
+val has_prefix : prefix:string -> string -> bool
+(** [has_prefix ~prefix s] — does [s] start with [prefix]? Used by the
+    registry's provenance maps over coroutine-name prefixes. *)

@@ -173,12 +173,16 @@ let add parent ~child =
   if not (is_compound parent) then invalid_arg "Event.add: not a compound event";
   if parent.state land ready_bit <> 0 then invalid_arg "Event.add: parent already fired";
   push_child parent child;
+  (* depfast-lint: allow unbounded-growth — parent back-links mirror the
+     wiring the program performs explicitly; bounded by the event graph *)
   child.parents <- parent :: child.parents;
   invalidate_peers parent;
   if child.state land ready_bit <> 0 then parent.state <- parent.state + one_ready;
   check_compound parent
 
 let on_fire t f =
+  (* depfast-lint: allow unbounded-growth — observers run and are freed at
+     the fire; the list is bounded by registrations on one live event *)
   if t.state land ready_bit <> 0 then f () else t.fire_obs <- f :: t.fire_obs
 
 let live_mask = ready_bit lor abandoned_bit
@@ -202,6 +206,8 @@ let abandon t =
   go t
 
 let on_abandon t f =
+  (* depfast-lint: allow unbounded-growth — cleared wholesale by abandon;
+     bounded by registrations on one live event *)
   if t.state land abandoned_bit <> 0 then f () else t.abandon_obs <- f :: t.abandon_obs
 
 let rec peers t =

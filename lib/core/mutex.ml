@@ -6,6 +6,8 @@ let lock sched t =
   if not t.held then t.held <- true
   else begin
     let ev = Event.signal ~label:t.label () in
+    (* depfast-lint: allow unbounded-growth — waiter queue: drained by
+       unlock's ownership hand-off, at most one entry per parked coroutine *)
     Queue.add ev t.queue;
     (* ownership is transferred by the firing unlock *)
     Sched.wait sched ev

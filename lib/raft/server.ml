@@ -327,6 +327,9 @@ let replicator_loop t epoch =
                       seq = q.q_seq;
                     }
                   in
+                  (* depfast-lint: allow unbounded-growth — known-unbounded
+                     log: leader appends are never compacted (ROADMAP: log
+                     compaction / snapshots) *)
                   Rlog.append t.rlog e;
                   Hashtbl.replace t.by_index e.index q.q_pending;
                   e)

@@ -97,6 +97,8 @@ let set_chooser t choose =
 let exploring t = t.ex <> None
 
 let post_tag t tag f =
+  (* depfast-lint: allow unbounded-growth — the engine's ready queue:
+     drained every step by the run loop, which no handler can reach *)
   match t.ex with None -> Queue.add f t.ready | Some ex -> ex_push ex tag f
 
 let post t f = post_tag t Anon f

@@ -1,0 +1,9 @@
+(* Resend forever, back-to-back: a fail-slow peer turns every timeout
+   into an immediate retry — a tight unbounded resend loop that feeds
+   the very congestion it is trying to outrun. *)
+
+let rec send sched rpc ~src ~dst req =
+  let call = Cluster.Rpc.call rpc ~src ~dst ~bytes:256 req in
+  match Depfast.Sched.wait_timeout sched (Cluster.Rpc.event call) (Sim.Time.ms 50) with
+  | Depfast.Sched.Ready -> Cluster.Rpc.response call
+  | Depfast.Sched.Timed_out -> send sched rpc ~src ~dst req

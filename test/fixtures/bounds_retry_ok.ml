@@ -1,0 +1,15 @@
+(* The same retry loop, bounded: attempts are capped and each retry
+   backs off, so a fail-slow peer costs a bounded number of resends at
+   decreasing pressure. *)
+
+let rec send sched rpc ~src ~dst ~attempt req =
+  let max_attempts = 8 in
+  let call = Cluster.Rpc.call rpc ~src ~dst ~bytes:256 req in
+  match Depfast.Sched.wait_timeout sched (Cluster.Rpc.event call) (Sim.Time.ms 50) with
+  | Depfast.Sched.Ready -> Cluster.Rpc.response call
+  | Depfast.Sched.Timed_out ->
+    if attempt < max_attempts then begin
+      Depfast.Sched.sleep sched (Sim.Time.ms (10 * attempt));
+      send sched rpc ~src ~dst ~attempt:(attempt + 1) req
+    end
+    else None

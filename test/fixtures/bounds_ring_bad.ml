@@ -1,0 +1,15 @@
+(* An outbox that only ever grows: the RPC handler enqueues one frame
+   per request, and nothing on that path drains, sheds, or bounds the
+   queue — the RethinkDB backlog shape. *)
+
+let outbox = Queue.create ()
+
+let submit frame = Queue.add frame outbox
+
+let handle ~src req =
+  ignore src;
+  submit req;
+  None
+
+let serve rpc node =
+  Cluster.Rpc.serve rpc ~node ~handler:(fun ~src req -> handle ~src req)

@@ -1,0 +1,16 @@
+(* The same handler shape, bounded: the producing path checks the ring's
+   occupancy against a capacity before enqueueing, so a slow consumer
+   costs requests (shed at admission) instead of memory. *)
+
+let ring = Queue.create ()
+let cap = 64
+
+let submit frame = if cap > Queue.length ring then Queue.add frame ring
+
+let handle ~src req =
+  ignore src;
+  submit req;
+  None
+
+let serve rpc node =
+  Cluster.Rpc.serve rpc ~node ~handler:(fun ~src req -> handle ~src req)

@@ -1,0 +1,19 @@
+(* A majority quorum waited on with no deadline, on the RPC-handler
+   path: green to the wait-structure rules (the wait is quorum-shaped),
+   but a fail-slow minority still delays it without bound. *)
+
+let replicate sched peers =
+  let q = Depfast.Event.quorum ~label:"acks" Depfast.Event.Majority in
+  List.iter
+    (fun peer -> Depfast.Event.add q ~child:(Depfast.Event.rpc_completion ~peer ()))
+    peers;
+  Depfast.Sched.wait sched q
+
+let handle sched peers req =
+  ignore req;
+  replicate sched peers
+
+let serve rpc node sched peers =
+  Cluster.Rpc.serve rpc ~node ~handler:(fun ~src req ->
+      ignore src;
+      handle sched peers req)

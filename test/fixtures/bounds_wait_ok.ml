@@ -1,0 +1,20 @@
+(* The same quorum, deadline-guarded: the wait carries its own timeout,
+   so a fail-slow minority costs one bounded stall, not forever. *)
+
+let replicate sched peers =
+  let q = Depfast.Event.quorum ~label:"acks" Depfast.Event.Majority in
+  List.iter
+    (fun peer -> Depfast.Event.add q ~child:(Depfast.Event.rpc_completion ~peer ()))
+    peers;
+  match Depfast.Sched.wait_timeout sched q (Sim.Time.ms 100) with
+  | Depfast.Sched.Ready -> true
+  | Depfast.Sched.Timed_out -> false
+
+let handle sched peers req =
+  ignore req;
+  replicate sched peers
+
+let serve rpc node sched peers =
+  Cluster.Rpc.serve rpc ~node ~handler:(fun ~src req ->
+      ignore src;
+      handle sched peers req)
