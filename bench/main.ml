@@ -20,8 +20,18 @@ let params quick = if quick then Harness.Params.quick else Harness.Params.full
 let micro_results : Micro.result list ref = ref []
 let trace_cmp : (float * float) option ref = ref None
 let lint_stats : (int * float * int) option ref = ref None  (* files, wall ms, findings *)
-let macro_stats : (float * float * float * float) option ref = ref None
-(* tput, p50 ms, p99 ms, leader cpu *)
+type macro_row = {
+  mr_tput : float;
+  mr_p50 : float;
+  mr_p99 : float;
+  mr_cpu : float;
+  mr_mean_batch : float;  (* committed ops per leader fsync *)
+  mr_shed_rate : float;
+  mr_fsyncs_per_op : float;
+}
+
+let macro_stats : macro_row option ref = ref None
+let macro_nobatch_stats : macro_row option ref = ref None
 let check_stats : (int * int * float * int) option ref = ref None
 (* schedules, pruned, wall ms, findings *)
 let bounds_stats : (int * float * int * int) option ref = ref None
@@ -138,22 +148,46 @@ let run_check_json () =
 (* macro throughput probe: the fig1-shaped healthy cell (3-replica
    DepFastRaft under the closed-loop YCSB-style write workload, no fault
    injected) — the replication-path number the zero-copy/pooled/pipelined
-   overhaul is accountable to *)
+   overhaul and now the group-commit batcher are accountable to. Runs the
+   cell twice: with the adaptive batcher (default config) and with batching
+   forced off ([max_batch = 1]), so the JSON records the amortization
+   (mean batch size, fsyncs per op) next to its throughput effect. *)
 let run_macro_json quick =
   let params = params quick in
-  let cell =
-    Harness.Runner.run_cell ~trace:false ~params ~system:Harness.Runner.Depfast_raft
-      ~n:3 ~slow_count:1 ~fault:None ()
+  let row ~cfg =
+    let cell =
+      Harness.Runner.run_cell ~cfg ~trace:false ~params ~system:Harness.Runner.Depfast_raft
+        ~n:3 ~slow_count:1 ~fault:None ()
+    in
+    let m = cell.Harness.Runner.metrics in
+    {
+      mr_tput = Workload.Metrics.throughput m;
+      mr_p50 = Workload.Metrics.p50_latency_ms m;
+      mr_p99 = Workload.Metrics.p99_latency_ms m;
+      mr_cpu = m.Workload.Metrics.leader_utilization;
+      mr_mean_batch =
+        (if m.Workload.Metrics.leader_fsyncs = 0 then 0.0
+         else
+           float_of_int m.Workload.Metrics.completed
+           /. float_of_int m.Workload.Metrics.leader_fsyncs);
+      mr_shed_rate = Workload.Metrics.shed_rate m;
+      mr_fsyncs_per_op = Workload.Metrics.fsyncs_per_op m;
+    }
   in
-  let m = cell.Harness.Runner.metrics in
-  let tput = Workload.Metrics.throughput m in
-  let p50 = Workload.Metrics.p50_latency_ms m in
-  let p99 = Workload.Metrics.p99_latency_ms m in
-  let cpu = m.Workload.Metrics.leader_utilization in
-  macro_stats := Some (tput, p50, p99, cpu);
-  Printf.printf
-    "macro probe: %.0f ops/s, p50 %.2f ms, p99 %.2f ms, leader CPU %.0f%%\n%!" tput p50
-    p99 (100.0 *. cpu)
+  let pr label r =
+    Printf.printf
+      "macro probe (%s): %.0f ops/s, p50 %.2f ms, p99 %.2f ms, leader CPU %.0f%%, mean \
+       batch %.1f, %.2f fsyncs/op, shed %.1f%%\n\
+       %!"
+      label r.mr_tput r.mr_p50 r.mr_p99 (100.0 *. r.mr_cpu) r.mr_mean_batch
+      r.mr_fsyncs_per_op (100.0 *. r.mr_shed_rate)
+  in
+  let on = row ~cfg:Raft.Config.default in
+  macro_stats := Some on;
+  pr "batching" on;
+  let off = row ~cfg:{ Raft.Config.default with Raft.Config.max_batch = 1 } in
+  macro_nobatch_stats := Some off;
+  pr "no batching" off
 
 let run_experiment ~json quick = function
   | "table1" -> Harness.Table1.print ()
@@ -210,13 +244,18 @@ let write_json path =
           \"ratio\": %.4f}"
          off on (on /. off))
   | None -> ());
+  let macro_fields r =
+    Printf.sprintf
+      "{\"tput_ops_s\": %.2f, \"p50_ms\": %.2f, \"p99_ms\": %.2f, \"leader_cpu\": \
+       %.4f, \"mean_batch\": %.2f, \"fsyncs_per_op\": %.4f, \"shed_rate\": %.4f}"
+      r.mr_tput r.mr_p50 r.mr_p99 r.mr_cpu r.mr_mean_batch r.mr_fsyncs_per_op
+      r.mr_shed_rate
+  in
   (match !macro_stats with
-  | Some (tput, p50, p99, cpu) ->
-    Buffer.add_string buf
-      (Printf.sprintf
-         ",\n  \"fig1_macro\": {\"tput_ops_s\": %.2f, \"p50_ms\": %.2f, \"p99_ms\": \
-          %.2f, \"leader_cpu\": %.4f}"
-         tput p50 p99 cpu)
+  | Some r -> Buffer.add_string buf (",\n  \"fig1_macro\": " ^ macro_fields r)
+  | None -> ());
+  (match !macro_nobatch_stats with
+  | Some r -> Buffer.add_string buf (",\n  \"fig1_macro_nobatch\": " ^ macro_fields r)
   | None -> ());
   (match !lint_stats with
   | Some (files, ms, findings) ->

@@ -114,6 +114,30 @@ let bench_rlog_ship =
           let v = Raft.Rlog.view log ~from:500 ~max:64 in
           ignore (Raft.Rlog.View.bytes v)))
 
+let bench_batch_drain =
+  Test.make ~name:"raft: drain 64 queued commands into one Batch entry"
+    (Staged.stage (fun () ->
+         (* the leader's seal path: drain the admission queue through the
+            forming accumulator into a single multi-command entry *)
+         let q = Queue.create () in
+         for i = 1 to 64 do
+           Queue.add
+             { Raft.Types.b_cmd = Raft.Types.Put { key = "k"; value = "v" };
+               b_client = i land 7;
+               b_seq = i }
+             q
+         done;
+         let forming = ref [] in
+         while not (Queue.is_empty q) do
+           forming := Queue.pop q :: !forming
+         done;
+         let subs = Array.of_list (List.rev !forming) in
+         let e =
+           { Raft.Types.term = 1; index = 1; cmd = Raft.Types.Batch subs;
+             client_id = -1; seq = 0 }
+         in
+         assert (Raft.Types.entry_bytes e > 0)))
+
 let all_tests =
   [
     ("event_fire", bench_event_fire);
@@ -126,6 +150,7 @@ let all_tests =
     ("rlog_append_slice", bench_rlog);
     ("net_send_1000", bench_net_send);
     ("rlog_ship_batch", bench_rlog_ship);
+    ("batch_drain_64", bench_batch_drain);
   ]
 
 type result = {

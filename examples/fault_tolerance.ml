@@ -27,9 +27,17 @@ let run_once ~fault =
         {
           Workload.Driver.node = Raft.Client.node c;
           run_op =
-            (function
-            | Workload.Ycsb.Update { key; value } -> Raft.Client.put c ~key ~value
-            | Workload.Ycsb.Read { key } -> Raft.Client.get c ~key <> None);
+            (fun op ->
+              let outcome =
+                match op with
+                | Workload.Ycsb.Update { key; value } ->
+                  Raft.Client.submit c (Raft.Types.Put { key; value })
+                | Workload.Ycsb.Read { key } -> Raft.Client.submit c (Raft.Types.Get { key })
+              in
+              match outcome with
+              | Raft.Client.Committed _ -> Workload.Driver.Committed
+              | Raft.Client.Shed -> Workload.Driver.Shed
+              | Raft.Client.Failed -> Workload.Driver.Failed);
         })
       (Raft.Group.make_clients g ~count:64 ())
   in

@@ -176,7 +176,7 @@ let handle_client_request b ~cmd ~client_id ~seq =
   let cfg = b.cfg in
   cpu_work b cfg.Raft.Config.cost_client_parse;
   if not (is_leader b) then
-    Client_resp { ok = false; leader_hint = Some b.leader_id; value = None }
+    Client_resp { ok = false; shed = false; leader_hint = Some b.leader_id; value = None }
   else begin
     let p = enqueue b ~cmd ~client:client_id ~seq in
     let outcome =
@@ -185,9 +185,10 @@ let handle_client_request b ~cmd ~client_id ~seq =
     cpu_work b cfg.Raft.Config.cost_client_reply;
     match outcome with
     | Depfast.Sched.Ready ->
-      Client_resp { ok = p.p_ok; leader_hint = Some b.leader_id; value = p.p_value }
+      Client_resp
+        { ok = p.p_ok; shed = false; leader_hint = Some b.leader_id; value = p.p_value }
     | Depfast.Sched.Timed_out ->
-      Client_resp { ok = false; leader_hint = Some b.leader_id; value = None }
+      Client_resp { ok = false; shed = false; leader_hint = Some b.leader_id; value = None }
   end
 
 let hiccup_loop b =
@@ -238,7 +239,14 @@ let make_clients rpc ~sched ~server_ids ~cfg ~count =
         Workload.Driver.node;
         run_op =
           (fun op ->
-            match op with
-            | Workload.Ycsb.Update { key; value } -> Raft.Client.put client ~key ~value
-            | Workload.Ycsb.Read { key } -> Raft.Client.get client ~key <> None);
+            let outcome =
+              match op with
+              | Workload.Ycsb.Update { key; value } ->
+                Raft.Client.submit client (Put { key; value })
+              | Workload.Ycsb.Read { key } -> Raft.Client.submit client (Get { key })
+            in
+            match outcome with
+            | Raft.Client.Committed _ -> Workload.Driver.Committed
+            | Raft.Client.Shed -> Workload.Driver.Shed
+            | Raft.Client.Failed -> Workload.Driver.Failed);
       })

@@ -289,8 +289,8 @@ let raft_cfg =
     client_timeout = Sim.Time.ms 300;
   }
 
-let make_raft san sched ~n =
-  let g = Raft.Group.create sched ~n ~cfg:raft_cfg () in
+let make_raft ?(cfg = raft_cfg) san sched ~n =
+  let g = Raft.Group.create sched ~n ~cfg () in
   Cluster.Rpc.set_choice_mode g.Raft.Group.rpc true;
   Cluster.Rpc.set_net_sanitizer g.Raft.Group.rpc (fun msg ->
       Sanitizer.report san ~rule:Analysis.Finding.net_fifo_violation msg);
@@ -433,6 +433,50 @@ let raft_rewind_3 =
         { until = Some (Sim.Time.ms 500); check = raft_safety g });
   }
 
+let raft_slow_disk_admission_3 =
+  (* the paper's §2 RethinkDB scenario, inverted: with the leader's disk
+     fail-slow, rethink_like's pending queue grows with offered load, but
+     DepFastRaft's bounded admission sheds at the door — in EVERY explored
+     interleaving the gauge stays at or under [admission_depth] (there is
+     no scheduling point between the depth check and the enqueue). *)
+  let admission_depth = 4 in
+  {
+    name = "raft-slow-disk-admission-3";
+    descr =
+      "slow leader disk under offered load: the admission-queue gauge stays \
+       within its certified bound while requests shed fail-fast";
+    exhaustive = false;
+    gating = true;
+    modules = [ "lib/raft/server.ml"; "lib/raft/client.ml"; "lib/cluster/rpc.ml" ];
+    default_schedules = 150;
+    allow = raft_allow ~n:3;
+    provenance = raft_provenance;
+    make =
+      (fun san sched ->
+        let cfg = { raft_cfg with Raft.Config.max_batch = 8; admission_depth } in
+        let g = make_raft ~cfg san sched ~n:3 in
+        let leader = Raft.Group.server g 0 in
+        Sanitizer.add_gauge san ~label:"raft.pending" ~file:"lib/raft/server.ml"
+          ~cap:admission_depth (fun () -> Raft.Server.pending_depth leader);
+        let clients = Raft.Group.make_clients g ~count:8 () in
+        Depfast.Sched.spawn sched ~node:0 ~name:"drv.slowdisk" (fun () ->
+            Raft.Group.elect g 0;
+            (* fail-slow, not fail-stop: every leader-disk I/O takes 40x *)
+            Cluster.Station.set_penalty
+              (Cluster.Disk.station (Cluster.Node.disk (Raft.Server.node leader)))
+              (fun () -> 40.0));
+        List.iteri
+          (fun i c ->
+            Cluster.Node.spawn (Raft.Client.node c)
+              ~name:(Printf.sprintf "drv.load%d" i)
+              (fun () ->
+                for k = 1 to 3 do
+                  ignore (Raft.Client.put c ~key:(Printf.sprintf "k%d" k) ~value:"v")
+                done))
+          clients;
+        { until = Some (Sim.Time.ms 250); check = raft_safety g });
+  }
+
 let all =
   [
     yield_storm;
@@ -447,6 +491,7 @@ let all =
     raft_replicate_3;
     raft_partition_heal_3;
     raft_rewind_3;
+    raft_slow_disk_admission_3;
   ]
 
 let gating_scenarios = List.filter (fun s -> s.gating) all

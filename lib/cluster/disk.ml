@@ -7,6 +7,8 @@ type t = {
   bandwidth_mb_s : float;
   mutable bandwidth_factor : float;
   station : Station.t;
+  mutable writes : int;
+  mutable fsyncs : int;
 }
 
 let create sched ~node_id ?(base_latency = Time.us 80) ?(fsync_latency = Time.us 150)
@@ -18,6 +20,8 @@ let create sched ~node_id ?(base_latency = Time.us 80) ?(fsync_latency = Time.us
     bandwidth_mb_s;
     bandwidth_factor = 1.0;
     station = Station.create sched ~servers:1 ~name:(Printf.sprintf "disk%d" node_id) ();
+    writes = 0;
+    fsyncs = 0;
   }
 
 let bytes_per_us t = t.bandwidth_mb_s *. t.bandwidth_factor *. 1e6 /. 1e6
@@ -30,9 +34,22 @@ let io t ~label ~work =
   ignore (Station.submit t.station ~event ~work ());
   event
 
-let write t ~bytes = io t ~label:"disk.write" ~work:(t.base_latency + transfer_time t bytes)
+let write t ~bytes =
+  t.writes <- t.writes + 1;
+  io t ~label:"disk.write" ~work:(t.base_latency + transfer_time t bytes)
+
 let read t ~bytes = io t ~label:"disk.read" ~work:(t.base_latency + transfer_time t bytes)
-let fsync t = io t ~label:"disk.fsync" ~work:t.fsync_latency
+
+let fsync t =
+  t.fsyncs <- t.fsyncs + 1;
+  io t ~label:"disk.fsync" ~work:t.fsync_latency
+
+let write_count t = t.writes
+let fsync_count t = t.fsyncs
+
+let reset_stats t =
+  t.writes <- 0;
+  t.fsyncs <- 0
 
 let set_bandwidth_factor t f = t.bandwidth_factor <- f
 let set_penalty t f = Station.set_penalty t.station f

@@ -40,3 +40,15 @@ val station : t -> Station.t
 
 val bytes_per_us : t -> float
 (** Effective transfer rate, after the bandwidth factor. *)
+
+val write_count : t -> int
+(** Writes submitted since creation (or the last {!reset_stats}). *)
+
+val fsync_count : t -> int
+(** Fsyncs submitted since creation (or the last {!reset_stats}). With
+    group commit on, the leader's fsyncs-per-committed-op drops below 1 —
+    the benchmark reports this ratio. *)
+
+val reset_stats : t -> unit
+(** Zero the write/fsync counters (the workload driver calls this at the
+    warmup boundary so the ratio covers the measurement window only). *)

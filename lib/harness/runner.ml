@@ -12,6 +12,11 @@ let system_name = function
   | Tidb_like -> "TiDB-like"
   | Rethink_like -> "RethinkDB-like"
 
+let outcome_of_submit = function
+  | Raft.Client.Committed _ -> Workload.Driver.Committed
+  | Raft.Client.Shed -> Workload.Driver.Shed
+  | Raft.Client.Failed -> Workload.Driver.Failed
+
 let clients_of_group g ~count =
   List.map
     (fun c ->
@@ -19,9 +24,12 @@ let clients_of_group g ~count =
         Workload.Driver.node = Raft.Client.node c;
         run_op =
           (fun op ->
-            match op with
-            | Workload.Ycsb.Update { key; value } -> Raft.Client.put c ~key ~value
-            | Workload.Ycsb.Read { key } -> Raft.Client.get c ~key <> None);
+            outcome_of_submit
+              (match op with
+              | Workload.Ycsb.Update { key; value } ->
+                Raft.Client.submit c (Raft.Types.Put { key; value })
+              | Workload.Ycsb.Read { key } ->
+                Raft.Client.submit c (Raft.Types.Get { key })));
       })
     (Raft.Group.make_clients g ~count ())
 

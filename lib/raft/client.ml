@@ -12,7 +12,10 @@ type t = {
   mutable leader_hint : int option;
   mutable attempted : int;
   mutable failed : int;
+  mutable shed : int;
 }
+
+type outcome = Committed of string option | Shed | Failed
 
 let create rpc node ~servers ?(cfg = Config.default) ~id () =
   {
@@ -27,6 +30,7 @@ let create rpc node ~servers ?(cfg = Config.default) ~id () =
     leader_hint = None;
     attempted = 0;
     failed = 0;
+    shed = 0;
   }
 
 let id t = t.client_id
@@ -37,7 +41,11 @@ let target t =
   | Some s -> s
   | None -> Sim.Rng.pick t.rng t.servers
 
-(* one command, retried across leader changes; same seq = exactly-once *)
+(* one command, retried across leader changes; same seq = exactly-once.
+   A shed reply (bounded admission) is terminal: the leader told us it is
+   overloaded, and hammering it with an immediate retry — or spraying the
+   same command at followers that would only redirect back — feeds the
+   overload the shed exists to relieve. Fail fast; the caller decides. *)
 let submit t cmd =
   t.seq <- t.seq + 1;
   t.attempted <- t.attempted + 1;
@@ -46,7 +54,7 @@ let submit t cmd =
   let rec attempt k =
     if k >= max_attempts then begin
       t.failed <- t.failed + 1;
-      None
+      Failed
     end
     else begin
       let dst = target t in
@@ -70,9 +78,13 @@ let submit t cmd =
         attempt (k + 1)
       | Depfast.Sched.Ready -> (
         match Cluster.Rpc.response call with
-        | Some (Client_resp { ok = true; leader_hint; value }) ->
+        | Some (Client_resp { ok = true; leader_hint; value; _ }) ->
           t.leader_hint <- leader_hint;
-          Some value
+          Committed value
+        | Some (Client_resp { shed = true; leader_hint; _ }) ->
+          t.shed <- t.shed + 1;
+          t.leader_hint <- leader_hint;
+          Shed
         | Some (Client_resp { ok = false; leader_hint; _ }) ->
           (match leader_hint with
           | Some h when Some h <> Some dst -> t.leader_hint <- leader_hint
@@ -87,13 +99,14 @@ let submit t cmd =
   in
   attempt 0
 
-let command t cmd = submit t cmd
+let command t cmd = match submit t cmd with Committed v -> Some v | Shed | Failed -> None
 
 let put t ~key ~value =
-  match submit t (Put { key; value }) with Some _ -> true | None -> false
+  match submit t (Put { key; value }) with Committed _ -> true | Shed | Failed -> false
 
 let get t ~key =
-  match submit t (Get { key }) with Some v -> Some v | None -> None
+  match submit t (Get { key }) with Committed v -> Some v | Shed | Failed -> None
 
 let ops_attempted t = t.attempted
 let ops_failed t = t.failed
+let ops_shed t = t.shed

@@ -11,6 +11,11 @@
 
 type t
 
+type outcome =
+  | Committed of string option  (** applied; the value for reads *)
+  | Shed  (** rejected at admission — terminal, no retry (fail-fast) *)
+  | Failed  (** retries exhausted (leader unreachable / no quorum) *)
+
 val create :
   (Types.req, Types.resp) Cluster.Rpc.t ->
   Cluster.Node.t ->
@@ -27,10 +32,16 @@ val id : t -> int
 val node : t -> Cluster.Node.t
 (** The node hosting this client's coroutines. *)
 
+val submit : t -> Types.command -> outcome
+(** Submit any state-machine command through the log and report what
+    happened. A [Shed] reply is terminal: the leader said it is overloaded,
+    and an immediate retry would feed the overload the bounded admission
+    queue exists to relieve. Blocking; coroutine context. *)
+
 val command : t -> Types.command -> string option option
-(** Submit any state-machine command through the log (used by the 2PC
-    coordinator). [None] = failed; [Some r] = committed with apply result
-    [r]. Blocking; coroutine context. *)
+(** [submit] collapsed to the legacy shape (used by the 2PC coordinator).
+    [None] = failed or shed; [Some r] = committed with apply result [r].
+    Blocking; coroutine context. *)
 
 val put : t -> key:string -> value:string -> bool
 (** Blocking update; [true] iff committed. Must run inside a coroutine on
@@ -42,3 +53,6 @@ val get : t -> key:string -> string option option
 
 val ops_attempted : t -> int
 val ops_failed : t -> int
+
+val ops_shed : t -> int
+(** Commands that ended in a fail-fast shed reply. *)

@@ -14,6 +14,15 @@ type t = {
   election_timeout_max : Time.span;
   heartbeat_interval : Time.span;
   batch_max : int;  (** max entries per AppendEntries *)
+  max_batch : int;
+      (** max client commands the leader's batcher coalesces into one
+          multi-command log entry (group commit); 1 disables batching — one
+          entry, one fsync, one replication round per command *)
+  admission_depth : int;
+      (** bound on the leader's pending client-command queue: a request
+          arriving with the queue at this depth is shed with an explicit
+          fail-fast reply instead of joining an unbounded backlog (the
+          paper's §2 RethinkDB root cause) *)
   pipeline_depth : int;
       (** max unacknowledged AppendEntries per follower: the leader streams
           up to this many batches past the last ack (flow-control window,
@@ -71,6 +80,19 @@ type t = {
           materializes from the shipped log view as structured entries, so
           the stream pays append + checksum only, no per-entry unmarshal *)
   cost_apply_entry : Time.span;  (** per committed entry, both sides *)
+  cost_apply_cmd : Time.span;
+      (** per command inside a committed multi-command (batch) entry: the
+          marginal state-machine update only — entry fetch, index advance,
+          and dispatch are paid once per entry via [cost_apply_entry],
+          and the session table stays cache-warm across the batch *)
+  cost_client_reply_grouped : Time.span;
+      (** per client reply on the grouped fan-out path: the reply is
+          appended to its connection slot's outbuf; the syscall is the
+          shared per-batch flush ([cost_reply_flush]) *)
+  cost_reply_flush : Time.span;
+      (** per commit batch, leader serial: one vectored flush pushing every
+          reply of the batch out — the syscall half of what
+          [cost_client_reply_pooled] paid per reply *)
   cost_vote : Time.span;
   (* storage *)
   wal_entry_overhead : int;  (** bytes per entry beyond payload *)
@@ -90,6 +112,8 @@ let default =
     election_timeout_max = Time.ms 300;
     heartbeat_interval = Time.ms 50;
     batch_max = 64;
+    max_batch = 64;
+    admission_depth = 256;
     pipeline_depth = 4;
     group_commit_window = Time.ms 5;
     rpc_timeout = Time.ms 1000;
@@ -110,6 +134,9 @@ let default =
     cost_follower_entry = Time.us 100;
     cost_follower_entry_view = Time.us 60;
     cost_apply_entry = Time.us 100;
+    cost_apply_cmd = Time.us 40;
+    cost_client_reply_grouped = Time.us 30;
+    cost_reply_flush = Time.us 70;
     cost_vote = Time.us 50;
     wal_entry_overhead = 48;
     hiccup_interval = Dist.Exponential 400_000.0;  (* ~every 400 ms *)

@@ -17,20 +17,30 @@ let create () =
 
 let last_seq t ~client_id = Option.value ~default:(-1) (Hashtbl.find_opt t.sessions client_id)
 
-let bump t (e : Types.entry) =
-  if e.client_id >= 0 then Hashtbl.replace t.sessions e.client_id e.seq;
+let bump t ~client_id ~seq =
+  if client_id >= 0 then Hashtbl.replace t.sessions client_id seq;
   t.applied <- t.applied + 1
 
-let apply t (e : Types.entry) =
-  let duplicate = e.client_id >= 0 && e.seq <= last_seq t ~client_id:e.client_id in
-  match e.cmd with
+(* One command under one session identity. A [Batch] entry carries its own
+   per-element identities, so applying it whole and applying its elements
+   one by one are the same sequence of [apply_cmd] calls — the QCheck
+   batched-vs-sequential property pins this. *)
+let rec apply_cmd t ~cmd ~client_id ~seq =
+  let duplicate = client_id >= 0 && seq <= last_seq t ~client_id in
+  match cmd with
   | Types.Nop -> None
+  | Types.Batch subs ->
+    Array.iter
+      (fun (b : Types.bcmd) ->
+        ignore (apply_cmd t ~cmd:b.b_cmd ~client_id:b.b_client ~seq:b.b_seq))
+      subs;
+    None
   | Types.Tx_prepare { txid; writes } ->
     if duplicate then
       (* deterministic re-answer: prepared iff still staged *)
       Some (if Hashtbl.mem t.staged txid then "ok" else "conflict")
     else begin
-      bump t e;
+      bump t ~client_id ~seq;
       let conflicting =
         List.exists
           (fun (k, _) ->
@@ -48,7 +58,7 @@ let apply t (e : Types.entry) =
     end
   | Types.Tx_commit { txid } ->
     if not duplicate then begin
-      bump t e;
+      bump t ~client_id ~seq;
       (match Hashtbl.find_opt t.staged txid with
       | Some writes ->
         List.iter
@@ -62,7 +72,7 @@ let apply t (e : Types.entry) =
     Some "ok"
   | Types.Tx_abort { txid } ->
     if not duplicate then begin
-      bump t e;
+      bump t ~client_id ~seq;
       (match Hashtbl.find_opt t.staged txid with
       | Some writes ->
         List.iter (fun (k, _) -> Hashtbl.remove t.locks k) writes;
@@ -71,14 +81,16 @@ let apply t (e : Types.entry) =
     end;
     Some "ok"
   | Types.Get { key } ->
-    if not duplicate then bump t e;
+    if not duplicate then bump t ~client_id ~seq;
     Hashtbl.find_opt t.store key
   | Types.Put { key; value } ->
     if not duplicate then begin
       Hashtbl.replace t.store key value;
-      bump t e
+      bump t ~client_id ~seq
     end;
     None
+
+let apply t (e : Types.entry) = apply_cmd t ~cmd:e.cmd ~client_id:e.client_id ~seq:e.seq
 
 let get t key = Hashtbl.find_opt t.store key
 let size t = Hashtbl.length t.store

@@ -9,8 +9,16 @@ val create : unit -> t
 
 val apply : t -> Types.entry -> string option
 (** Apply a committed entry. Returns the read value for [Get], [None]
-    otherwise. Duplicate [(client_id, seq)] pairs are skipped (still
-    returning the current value for reads). *)
+    otherwise (including for [Batch] entries, whose elements are applied in
+    order under their own session identities — the leader uses
+    {!apply_cmd} per element when it needs each result). Duplicate
+    [(client_id, seq)] pairs are skipped (still returning the current value
+    for reads). *)
+
+val apply_cmd : t -> cmd:Types.command -> client_id:int -> seq:int -> string option
+(** Apply one command under the given session identity — the per-element
+    entry point the leader's batched apply/reply fan-out uses. [apply] of a
+    [Batch] entry is exactly [apply_cmd] over its elements in order. *)
 
 val get : t -> string -> string option
 (** Direct lookup (used by leader reads after commit). *)

@@ -45,8 +45,9 @@ type t = {
   mutable last_contact : Time.t;
   mutable leader : int option;
   (* leader-side state *)
-  pending_q : queued Queue.t;
-  by_index : (index, pending) Hashtbl.t;
+  pending_q : queued Queue.t;  (* admission queue, bounded by Config.admission_depth *)
+  mutable forming : queued list;  (* batcher buffer: the batch being sealed, reset per flush *)
+  by_index : (index, pending array) Hashtbl.t;  (* one pending per command in the entry *)
   followers : (int, follower_state) Hashtbl.t;
   work_cv : Depfast.Condvar.t;
   commit_cv : Depfast.Condvar.t;
@@ -57,6 +58,9 @@ type t = {
   round_cv : Depfast.Condvar.t;
   append_mu : Depfast.Mutex.t;  (* serial, in-order replication-stream apply *)
   match_buf : int array;  (* scratch for the commit rule, one slot per voter *)
+  (* per-leader load gauges *)
+  batch_hist : Hist.t;  (* commit-batch-size distribution (count per flush) *)
+  mutable shed_count : int;  (* requests rejected at admission *)
 }
 
 let id t = Cluster.Node.id t.node
@@ -92,10 +96,14 @@ let fail_pending t =
       Depfast.Event.fire q.q_pending.p_done)
     t.pending_q;
   Queue.clear t.pending_q;
+  t.forming <- [];
   Hashtbl.iter
-    (fun _ p ->
-      p.p_ok <- false;
-      Depfast.Event.fire p.p_done)
+    (fun _ ps ->
+      Array.iter
+        (fun p ->
+          p.p_ok <- false;
+          Depfast.Event.fire p.p_done)
+        ps)
     t.by_index;
   Hashtbl.reset t.by_index
 
@@ -286,19 +294,28 @@ let sender_loop t fs epoch =
   in
   loop ()
 
-(* ---------------- leader: group-commit replicator ----------------------- *)
+(* ---------------- leader: adaptive batcher + group-commit replicator ---- *)
 
+(* Seal up to [Config.max_batch] queued commands into the forming batch.
+   The batcher buffer is a leader-owned accumulator: it grows only here,
+   by moving commands out of the (bounded) admission queue, and is reset
+   to empty the moment the batch is sealed into a log entry. *)
 let take_batch t =
-  let rec go acc k =
-    if k = 0 || Queue.is_empty t.pending_q then List.rev acc
-    else go (Queue.pop t.pending_q :: acc) (k - 1)
+  let rec go k =
+    if k > 0 && not (Queue.is_empty t.pending_q) then begin
+      t.forming <- Queue.pop t.pending_q :: t.forming;
+      go (k - 1)
+    end
   in
-  go [] t.cfg.Config.batch_max
+  go t.cfg.Config.max_batch;
+  let sealed = List.rev t.forming in
+  t.forming <- [];
+  sealed
 
 let replicator_loop t epoch =
   let cfg = t.cfg in
-  (* bound on concurrently outstanding commit rounds (quorum waits); the
-     per-follower wire window is Config.pipeline_depth in the senders *)
+  (* hard bound on concurrently outstanding commit rounds (quorum waits);
+     the per-follower wire window is Config.pipeline_depth in the senders *)
   let rounds_window = 8 in
   let rec loop () =
     if alive t && t.role = Leader && t.epoch = epoch then begin
@@ -306,42 +323,72 @@ let replicator_loop t epoch =
         ignore
           (Depfast.Condvar.wait_timeout t.sched t.work_cv cfg.Config.group_commit_window);
       if alive t && t.role = Leader && t.epoch = epoch then begin
-        if t.rounds_inflight >= rounds_window then begin
-          (* backpressure: bound the number of in-flight rounds *)
-          ignore (Depfast.Condvar.wait_timeout t.sched t.round_cv cfg.Config.rpc_timeout);
+        (* Adaptive group commit, no timer in the hot path: one batch forms
+           while at most one earlier commit cycle is still in flight (double
+           buffering), so the flush trigger is the previous cycle's
+           completion — a cycle spans append/replicate/fsync *and* the
+           apply + reply fan-out (see the round coroutine below). The batch
+           interval therefore stretches exactly as far as the whole
+           commit pipeline does, which is what keeps batches growing (and
+           per-op cost shrinking) precisely when the disk or a follower
+           turns slow. A *full* batch may pipeline deeper, up to
+           [rounds_window]. *)
+        let qlen = Queue.length t.pending_q in
+        let flush_now =
+          qlen > 0
+          && (t.rounds_inflight < 2
+             || (qlen >= cfg.Config.max_batch && t.rounds_inflight < rounds_window))
+        in
+        if not flush_now then begin
+          if qlen > 0 || t.rounds_inflight >= rounds_window then
+            (* wait for the round ahead to complete, not for a timer *)
+            ignore
+              (Depfast.Condvar.wait_timeout t.sched t.round_cv cfg.Config.rpc_timeout);
           loop ()
         end
         else begin
+          (* pay the per-round fixed cost before draining: commands arriving
+             while this round's fixed work runs still make this batch, so
+             the batch interval covers the whole seal, not just the wait *)
+          cpu_work t cfg.Config.cost_round_fixed;
           let batch = take_batch t in
           if batch = [] then loop ()
           else begin
-            let entries =
-              List.map
-                (fun q ->
-                  let e =
-                    {
-                      term = t.term;
-                      index = Rlog.last_index t.rlog + 1;
-                      cmd = q.q_cmd;
-                      client_id = q.q_client;
-                      seq = q.q_seq;
-                    }
-                  in
-                  (* depfast-lint: allow unbounded-growth — known-unbounded
-                     log: leader appends are never compacted (ROADMAP: log
-                     compaction / snapshots) *)
-                  Rlog.append t.rlog e;
-                  Hashtbl.replace t.by_index e.index q.q_pending;
-                  e)
-                batch
+            let index = Rlog.last_index t.rlog + 1 in
+            let e =
+              match batch with
+              | [ q ] ->
+                (* singleton: a plain entry, bit-identical to the unbatched
+                   protocol *)
+                { term = t.term; index; cmd = q.q_cmd; client_id = q.q_client; seq = q.q_seq }
+              | qs ->
+                {
+                  term = t.term;
+                  index;
+                  cmd =
+                    Batch
+                      (Array.of_list
+                         (List.map
+                            (fun q -> { b_cmd = q.q_cmd; b_client = q.q_client; b_seq = q.q_seq })
+                            qs));
+                  client_id = -1;
+                  seq = 0;
+                }
             in
-            let n = List.length entries in
-            (* zero-copy path: the round's serial work is the WAL encode
-               only — no wire-buffer marshal (the senders ship views) *)
-            cpu_work t
-              (cfg.Config.cost_round_fixed + (n * cfg.Config.cost_wal_entry));
-            let last = Rlog.last_index t.rlog in
-            let bytes = entries_bytes entries + (n * cfg.Config.wal_entry_overhead) in
+            (* depfast-lint: allow unbounded-growth — known-unbounded
+               log: leader appends are never compacted (ROADMAP: log
+               compaction / snapshots) *)
+            Rlog.append t.rlog e;
+            let pendings = Array.of_list (List.map (fun q -> q.q_pending) batch) in
+            Hashtbl.replace t.by_index index pendings;
+            let n = List.length batch in
+            Hist.add t.batch_hist n;
+            (* zero-copy path: the round's remaining serial work is the WAL
+               encode only — no wire-buffer marshal (the senders ship
+               views); the fixed cost was paid above, once per batch *)
+            cpu_work t (n * cfg.Config.cost_wal_entry);
+            let last = index in
+            let bytes = entry_bytes e + cfg.Config.wal_entry_overhead in
             let wal_ev = wal_append t ~bytes in
             (* disk completions are FIFO, so WAL durability advances in
                log order *)
@@ -383,7 +430,19 @@ let replicator_loop t epoch =
                    Depfast.Sched.wait_timeout t.sched quorum cfg.Config.rpc_timeout
                  with
                 | Depfast.Sched.Ready ->
-                  if t.role = Leader && t.epoch = epoch then advance_commit t
+                  if t.role = Leader && t.epoch = epoch then begin
+                    advance_commit t;
+                    (* self-clock the next non-full flush on the whole
+                       group-commit cycle: hold this round open until the
+                       batch's replies have flushed (or failed over), not
+                       merely until it replicated — the batch interval then
+                       tracks replicate + apply + reply, which is what
+                       actually bounds how fast commands leave the system *)
+                    ignore
+                      (Depfast.Sched.wait_timeout t.sched
+                         pendings.(Array.length pendings - 1).p_done
+                         cfg.Config.rpc_timeout)
+                  end
                 | Depfast.Sched.Timed_out -> ());
                 t.rounds_inflight <- t.rounds_inflight - 1;
                 Depfast.Condvar.broadcast t.round_cv);
@@ -397,7 +456,17 @@ let replicator_loop t epoch =
 
 (* ---------------- applier ----------------------------------------------- *)
 
+let fire_reply t p value =
+  p.p_value <- value;
+  p.p_ok <- true;
+  let lat = float_of_int (Time.diff (now t) p.p_t0) in
+  t.commit_latency_ewma <-
+    (if t.commit_latency_ewma < 0.0 then lat
+     else (0.95 *. t.commit_latency_ewma) +. (0.05 *. lat));
+  Depfast.Event.fire p.p_done
+
 let applier_loop t =
+  let cfg = t.cfg in
   let rec loop () =
     if alive t then begin
       if t.last_applied < t.commit_index then begin
@@ -407,20 +476,39 @@ let applier_loop t =
           (* committed entry missing would be a safety bug *)
           assert false
         | Some e ->
-          cpu_work t t.cfg.Config.cost_apply_entry;
-          let value = Kv.apply t.kv e in
-          t.last_applied <- i;
-          (match Hashtbl.find_opt t.by_index i with
-          | Some p ->
-            Hashtbl.remove t.by_index i;
-            p.p_value <- value;
-            p.p_ok <- true;
-            let lat = float_of_int (Time.diff (now t) p.p_t0) in
-            t.commit_latency_ewma <-
-              (if t.commit_latency_ewma < 0.0 then lat
-               else (0.95 *. t.commit_latency_ewma) +. (0.05 *. lat));
-            Depfast.Event.fire p.p_done
+          let pendings = Hashtbl.find_opt t.by_index i in
+          (match pendings with Some _ -> Hashtbl.remove t.by_index i | None -> ());
+          (match e.cmd with
+          | Batch subs ->
+            (* batched apply: entry fetch/dispatch once, then the marginal
+               per-command update — the session and store tables stay
+               cache-warm across the group. Each reply fires as its command
+               applies, so the fan-out streams out over the batch's apply
+               window instead of bursting after it — the woken client
+               handlers overlap with the remaining applies *)
+            cpu_work t cfg.Config.cost_apply_entry;
+            Array.iteri
+              (fun k b ->
+                cpu_work t cfg.Config.cost_apply_cmd;
+                let value =
+                  Kv.apply_cmd t.kv ~cmd:b.b_cmd ~client_id:b.b_client ~seq:b.b_seq
+                in
+                match pendings with
+                | Some ps -> fire_reply t ps.(k) value
+                | None -> ())
+              subs
+          | _ ->
+            cpu_work t cfg.Config.cost_apply_entry;
+            let value = Kv.apply t.kv e in
+            (match pendings with
+            | Some ps -> Array.iter (fun p -> fire_reply t p value) ps
+            | None -> ()));
+          (* grouped reply fan-out: one vectored flush pushes the whole
+             batch's replies out (leader only — followers have no pendings) *)
+          (match pendings with
+          | Some _ -> cpu_work t cfg.Config.cost_reply_flush
           | None -> ());
+          t.last_applied <- i;
           loop ()
       end
       else begin
@@ -694,16 +782,26 @@ let handle_client_request t ~cmd ~client_id ~seq =
   (* pooled connection path: direct-indexed slot, no per-request closure *)
   cpu_work t cfg.Config.cost_client_parse_pooled;
   if t.role <> Leader then
-    Client_resp { ok = false; leader_hint = t.leader; value = None }
+    Client_resp { ok = false; shed = false; leader_hint = t.leader; value = None }
+  else if cfg.Config.admission_depth <= Queue.length t.pending_q then begin
+    (* bounded admission: shed at the door with an explicit fail-fast reply
+       instead of joining a backlog that a fail-slow disk would grow without
+       bound (the paper's §2 RethinkDB root cause, inverted) *)
+    t.shed_count <- t.shed_count + 1;
+    cpu_work t cfg.Config.cost_client_reply_grouped;
+    Client_resp { ok = false; shed = true; leader_hint = Some (id t); value = None }
+  end
   else begin
     let p = enqueue t ~cmd ~client:client_id ~seq in
     let outcome = Depfast.Sched.wait_timeout t.sched p.p_done cfg.Config.client_timeout in
-    cpu_work t cfg.Config.cost_client_reply_pooled;
+    (* grouped fan-out path: fill the connection slot's outbuf; the flush
+       syscall is shared by the whole commit batch (applier side) *)
+    cpu_work t cfg.Config.cost_client_reply_grouped;
     match outcome with
     | Depfast.Sched.Ready ->
-      Client_resp { ok = p.p_ok; leader_hint = Some (id t); value = p.p_value }
+      Client_resp { ok = p.p_ok; shed = false; leader_hint = Some (id t); value = p.p_value }
     | Depfast.Sched.Timed_out ->
-      Client_resp { ok = false; leader_hint = t.leader; value = None }
+      Client_resp { ok = false; shed = false; leader_hint = t.leader; value = None }
   end
 
 let transfer_leadership t ~target =
@@ -778,6 +876,7 @@ let create rpc node ~peers ~cfg =
       last_contact = Time.zero;
       leader = None;
       pending_q = Queue.create ();
+      forming = [];
       by_index = Hashtbl.create 256;
       followers = Hashtbl.create 8;
       work_cv = Depfast.Condvar.create ~label:"work" ();
@@ -789,6 +888,8 @@ let create rpc node ~peers ~cfg =
       round_cv = Depfast.Condvar.create ~label:"rounds" ();
       append_mu = Depfast.Mutex.create ~label:"append" ();
       match_buf = Array.make (List.length peers + 1) 0;
+      batch_hist = Hist.create ();
+      shed_count = 0;
     }
   in
   reset_follower_state t;
@@ -804,6 +905,13 @@ let start t =
 let become_leader_now t = if t.role <> Leader then run_election t ~transfer:true
 
 let commit_latency_ewma t = t.commit_latency_ewma
+
+(* load gauges — the admission queue's live depth (the check scenarios
+   register this with the sanitizer against Config.admission_depth), the
+   commit-batch-size distribution, and the shed counter *)
+let pending_depth t = Queue.length t.pending_q
+let batch_hist t = t.batch_hist
+let shed_count t = t.shed_count
 
 let best_follower t =
   if t.role <> Leader then None

@@ -45,6 +45,18 @@ val become_leader_now : t -> unit
 (** Test/bootstrap helper: start an election immediately (bypassing the
     randomized timeout), as after a [Timeout_now]. *)
 
+val pending_depth : t -> int
+(** Live depth of the leader's bounded admission queue (always ≤
+    [Config.admission_depth] — requests past that are shed). The
+    schedule-space checker registers this as a sanitizer queue gauge. *)
+
+val batch_hist : t -> Sim.Hist.t
+(** Commit-batch-size distribution: one sample per group-commit flush,
+    valued at the number of client commands sealed into that log entry. *)
+
+val shed_count : t -> int
+(** Client requests rejected at admission (fail-fast shed replies). *)
+
 val commit_latency_ewma : t -> float
 (** Exponentially weighted average of enqueue-to-apply latency for client
     commands at this leader, in microseconds; -1 before the first commit.

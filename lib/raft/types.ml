@@ -14,6 +14,13 @@ type command =
           stage the writes; applies to "ok" or "conflict" *)
   | Tx_commit of { txid : int }  (** 2PC phase 2: install staged writes *)
   | Tx_abort of { txid : int }  (** 2PC phase 2: discard staged writes *)
+  | Batch of bcmd array
+      (** group commit: concurrent client commands coalesced by the leader's
+          batcher into one log entry — one WAL fsync and one replication
+          round for the whole group. Each element keeps its own client
+          session identity so dedup and reply fan-out stay per-command. *)
+
+and bcmd = { b_cmd : command; b_client : int; b_seq : int }
 [@@deriving show { with_path = false }, eq]
 
 type entry = {
@@ -101,21 +108,32 @@ type req =
 type resp =
   | Vote_resp of { term : term; granted : bool }
   | Append_resp of { term : term; success : bool; match_index : index }
-  | Client_resp of { ok : bool; leader_hint : int option; value : string option }
+  | Client_resp of {
+      ok : bool;
+      shed : bool;
+          (** the leader's bounded admission queue was full and the request
+              was rejected at the door (fail-fast) — retrying immediately
+              would only feed the overload *)
+      leader_hint : int option;
+      value : string option;
+    }
   | Oplog_resp of { entries : entry list; prev_index : index; prev_term : term; commit : index }
   | Ack
 [@@deriving show { with_path = false }]
 
-(** Size estimate of an entry on the wire / WAL, for disk and buffer
-    accounting. *)
-let entry_bytes e =
-  match e.cmd with
+(** Size estimate of a command / an entry on the wire / WAL, for disk and
+    buffer accounting. A batch pays one entry header plus a small per-element
+    frame — the WAL-amortization the batcher exists for. *)
+let rec cmd_bytes = function
   | Put { key; value } -> 64 + String.length key + String.length value
   | Get { key } -> 64 + String.length key
   | Nop -> 64
   | Tx_prepare { writes; _ } ->
     List.fold_left (fun acc (k, v) -> acc + String.length k + String.length v) 96 writes
   | Tx_commit _ | Tx_abort _ -> 72
+  | Batch subs -> Array.fold_left (fun acc b -> acc + 16 + cmd_bytes b.b_cmd) 32 subs
+
+let entry_bytes e = cmd_bytes e.cmd
 
 let entries_bytes es = List.fold_left (fun acc e -> acc + entry_bytes e) 0 es
 let entries_bytes_a es = Array.fold_left (fun acc e -> acc + entry_bytes e) 0 es

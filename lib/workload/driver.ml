@@ -1,6 +1,8 @@
 open Sim
 
-type client = { node : Cluster.Node.t; run_op : Ycsb.op -> bool }
+type outcome = Committed | Failed | Shed
+
+type client = { node : Cluster.Node.t; run_op : Ycsb.op -> outcome }
 
 let run sched ~clients ~workload ~warmup ~duration ?leader_node () =
   let engine = Depfast.Sched.engine sched in
@@ -10,6 +12,7 @@ let run sched ~clients ~workload ~warmup ~duration ?leader_node () =
   let hist = Hist.create () in
   let completed = ref 0 in
   let failed = ref 0 in
+  let shed = ref 0 in
   List.iter
     (fun c ->
       let gen = Ycsb.make_gen workload (Engine.split_rng engine) in
@@ -18,40 +21,50 @@ let run sched ~clients ~workload ~warmup ~duration ?leader_node () =
             if Engine.now engine < t_end && Cluster.Node.alive c.node then begin
               let op = Ycsb.next_op gen in
               let t0 = Engine.now engine in
-              let ok = c.run_op op in
+              let outcome = c.run_op op in
               let t1 = Engine.now engine in
               (* count only ops that ran entirely inside the window: an op
                  started during warmup but completing after [measure_from]
                  would otherwise be recorded with warmup-inflated latency *)
               if t0 >= measure_from && t1 < t_end then
-                if ok then begin
+                (match outcome with
+                | Committed ->
                   incr completed;
                   Hist.add hist (Time.diff t1 t0)
-                end
-                else incr failed;
+                | Failed -> incr failed
+                (* a shed op never entered the system — it is neither
+                   goodput nor a failure of the replication path, so it
+                   gets its own counter *)
+                | Shed -> incr shed);
               loop ()
             end
           in
           loop ()))
     clients;
-  (* reset the leader's CPU window at the start of measurement *)
+  (* reset the leader's CPU and disk windows at the start of measurement *)
   (match leader_node with
   | Some n ->
     ignore
       (Engine.schedule_at engine ~time:measure_from (fun () ->
-           Cluster.Station.reset_stats (Cluster.Node.cpu n)))
+           Cluster.Station.reset_stats (Cluster.Node.cpu n);
+           Cluster.Disk.reset_stats (Cluster.Node.disk n)))
   | None -> ());
   Engine.run ~until:t_end engine;
-  let leader_utilization, leader_crashed =
+  let leader_utilization, leader_crashed, leader_fsyncs =
     match leader_node with
-    | Some n -> (Cluster.Station.utilization (Cluster.Node.cpu n), not (Cluster.Node.alive n))
-    | None -> (0.0, false)
+    | Some n ->
+      ( Cluster.Station.utilization (Cluster.Node.cpu n),
+        not (Cluster.Node.alive n),
+        Cluster.Disk.fsync_count (Cluster.Node.disk n) )
+    | None -> (0.0, false, 0)
   in
   {
     Metrics.duration = duration;
     completed = !completed;
     failed = !failed;
+    shed = !shed;
     latency = hist;
     leader_utilization;
     leader_crashed;
+    leader_fsyncs;
   }

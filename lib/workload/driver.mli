@@ -9,9 +9,14 @@
     {!client} records — DepFastRaft and the three baselines all provide
     them. *)
 
+type outcome =
+  | Committed  (** applied through the log *)
+  | Failed  (** retries exhausted (leader unreachable / no quorum) *)
+  | Shed  (** rejected fail-fast at the leader's bounded admission queue *)
+
 type client = {
   node : Cluster.Node.t;  (** where the client coroutine runs *)
-  run_op : Ycsb.op -> bool;  (** blocking; [true] iff committed *)
+  run_op : Ycsb.op -> outcome;  (** blocking *)
 }
 
 val run :
@@ -24,5 +29,8 @@ val run :
   unit ->
   Metrics.t
 (** Drives the engine itself (run this from outside any coroutine, after
-    the cluster has a leader). [leader_node] enables CPU-utilization and
-    crash reporting in the metrics. *)
+    the cluster has a leader). [leader_node] enables CPU-utilization, crash,
+    and fsync-count reporting in the metrics; its CPU and disk counters are
+    reset at the warmup boundary so both cover the measurement window only.
+    Shed ops are counted separately from completed and failed — they never
+    entered the replication path. *)

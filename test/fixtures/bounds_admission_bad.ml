@@ -1,0 +1,21 @@
+(* The same admission shape with the evidence removed: the handler
+   enqueues without consulting the queue's depth, and the batcher conses
+   onto its forming buffer without ever resetting it — both grow without
+   bound the moment the drain side falls behind (fail-slow, not
+   fail-stop). *)
+
+type batcher = { mutable forming : int list }
+
+let b = { forming = [] }
+let admit_q = Queue.create ()
+
+let admit req = Queue.add req admit_q
+
+let seal req = b.forming <- req :: b.forming
+
+let serve rpc node =
+  Cluster.Rpc.serve rpc ~node ~handler:(fun ~src req ->
+      ignore src;
+      admit req;
+      None);
+  Cluster.Node.spawn node ~name:"batcher" (fun () -> seal 1)

@@ -1,0 +1,30 @@
+(* The client-admission shape from the batched leader, bounded: the RPC
+   handler checks the admission queue's depth against a capacity before
+   enqueueing (shedding the request otherwise), and the batcher's
+   forming buffer is reset wholesale at every flush — so neither the
+   queue nor the cons accumulator can outgrow one batch under a slow
+   consumer. *)
+
+type batcher = { mutable forming : int list }
+
+let b = { forming = [] }
+let admit_q = Queue.create ()
+let cap = 8
+
+let admit req = if cap <= Queue.length admit_q then () else Queue.add req admit_q
+
+let flush () =
+  let sealed = List.rev b.forming in
+  b.forming <- [];
+  sealed
+
+let seal req =
+  b.forming <- req :: b.forming;
+  ignore (flush ())
+
+let serve rpc node =
+  Cluster.Rpc.serve rpc ~node ~handler:(fun ~src req ->
+      ignore src;
+      admit req;
+      None);
+  Cluster.Node.spawn node ~name:"batcher" (fun () -> seal 1)

@@ -59,6 +59,35 @@ let test_ring_capacity_certified () =
     && String.sub c.B.c_evidence 0 14 = "capacity check")
 
 (* ------------------------------------------------------------------ *)
+(* admission control: the batched-leader shape — a capacity-checked
+   admission queue behind the RPC handler plus a cons-accumulated
+   forming buffer reset at flush — vs the twin with the evidence gone *)
+
+let test_admission_unchecked_flagged () =
+  let fs, certs = analyze "bounds_admission_bad.ml" in
+  check_rules "unchecked admit and never-reset batch buffer"
+    [ F.unbounded_growth ] (rules fs);
+  check_int "both growth sites flagged" 2 (List.length fs);
+  ignore
+    (require_cert certs ~site:"Bounds_admission_bad.admit_q" ~kind:"queue"
+       ~verdict:G.Flagged);
+  ignore (require_cert certs ~site:".forming" ~kind:"cons" ~verdict:G.Flagged)
+
+let test_admission_checked_certified () =
+  let fs, certs = analyze "bounds_admission_ok.ml" in
+  check_rules "depth check and per-flush reset are evidence" [] (rules fs);
+  let c =
+    require_cert certs ~site:"Bounds_admission_ok.admit_q" ~kind:"queue"
+      ~verdict:G.Bounded
+  in
+  check_bool "evidence names the capacity check" true
+    (String.length c.B.c_evidence > 14
+    && String.sub c.B.c_evidence 0 14 = "capacity check");
+  let c = require_cert certs ~site:".forming" ~kind:"cons" ~verdict:G.Bounded in
+  check_bool "evidence names the reset" true
+    (String.length c.B.c_evidence > 5 && String.sub c.B.c_evidence 0 5 = "reset")
+
+(* ------------------------------------------------------------------ *)
 (* timeout coverage: naked quorum wait vs deadline-guarded twin *)
 
 let test_naked_quorum_wait_flagged () =
@@ -163,6 +192,26 @@ let test_tree_net_rings_certified () =
          (fun c -> c.B.c_site = "Fixtures.backlog" && c.B.c_verdict = G.Bounded)
          certs)
 
+let test_tree_admission_certified () =
+  (* the real leader: the admission queue behind handle_client_request
+     and the batcher's forming buffer must both certify Bounded — the
+     depth check at the enqueue site and the wholesale reset at flush
+     are the evidence, with no new pragmas *)
+  match tree () with
+  | None -> ()
+  | Some (_, certs) ->
+    let bounded ~site ~kind =
+      List.exists
+        (fun c ->
+          Filename.basename c.B.c_file = "server.ml"
+          && c.B.c_site = site && c.B.c_kind = kind && c.B.c_verdict = G.Bounded)
+        certs
+    in
+    check_bool "admission queue certified bounded" true
+      (bounded ~site:".pending_q" ~kind:"queue");
+    check_bool "batcher forming buffer certified bounded" true
+      (bounded ~site:".forming" ~kind:"cons")
+
 (* ------------------------------------------------------------------ *)
 (* stable ids: deterministic across runs, distinct across passes *)
 
@@ -250,6 +299,10 @@ let suite =
         Alcotest.test_case "unbounded ring flagged" `Quick test_ring_unbounded_flagged;
         Alcotest.test_case "capacity-checked ring certified" `Quick
           test_ring_capacity_certified;
+        Alcotest.test_case "unchecked admission flagged" `Quick
+          test_admission_unchecked_flagged;
+        Alcotest.test_case "checked admission certified" `Quick
+          test_admission_checked_certified;
       ] );
     ( "bounds.timeout",
       [
@@ -269,6 +322,8 @@ let suite =
           test_tree_self_lint_clean;
         Alcotest.test_case "pooled Net rings certified" `Quick
           test_tree_net_rings_certified;
+        Alcotest.test_case "admission queue + batch buffer certified" `Quick
+          test_tree_admission_certified;
         Alcotest.test_case "stable finding ids" `Quick test_stable_ids;
       ] );
     ( "bounds.gauge",

@@ -134,6 +134,17 @@ let test_dpor_prunes_raft () =
   check_bool "independent alternatives pruned" true (res.E.pruned > 0);
   check_int "safety holds on every explored schedule" 0 (List.length res.E.findings)
 
+let test_slow_disk_admission_bounded () =
+  (* ISSUE 7 satellite: a slow leader disk under offered load must not
+     grow the admission queue past its certified bound — the gauge
+     sampled at every choice point would report queue_gauge_overflow. *)
+  let res =
+    E.explore ~budget:(budget ~schedules:60 ()) (scenario "raft-slow-disk-admission-3")
+  in
+  check_bool "schedules explored" true (res.E.schedules > 0);
+  check_int "gauge bounded, safety holds, no sheds lost" 0
+    (List.length res.E.findings)
+
 let test_explore_is_deterministic () =
   let sc = scenario "broken-quorum" in
   let show r = List.map F.to_string r.E.findings in
@@ -235,6 +246,8 @@ let suite =
         Alcotest.test_case "quorum-majority exhausts clean" `Quick
           test_quorum_majority_exhausts_clean;
         Alcotest.test_case "DPOR prunes raft" `Quick test_dpor_prunes_raft;
+        Alcotest.test_case "slow-disk admission stays bounded" `Quick
+          test_slow_disk_admission_bounded;
         Alcotest.test_case "deterministic results" `Quick test_explore_is_deterministic;
         Alcotest.test_case "broken fixture needs exploration" `Quick
           test_broken_fixture_needs_exploration;

@@ -110,6 +110,88 @@ let test_kv_exactly_once =
            (fun k v acc -> acc && Raft.Kv.get kv k = Some v)
            reference true)
 
+(* the leader's group commit seals the same command stream into
+   multi-command Batch entries (singletons stay plain entries); applying
+   the batched log must be indistinguishable from applying the commands
+   one entry each — including dedup of retried sequence numbers *)
+
+let batched_apply_gen =
+  QCheck.Gen.(
+    pair
+      (list_size (int_range 1 120)
+         (triple (int_range 0 3)
+            (frequency [ (4, return `Put); (1, return `Get); (1, return `Dup) ])
+            (pair (int_range 0 9) (int_range 0 99))))
+      (list_size (int_range 1 60) (int_range 1 8)))
+
+let test_batched_apply_equiv =
+  QCheck.Test.make ~name:"kv: batched apply == sequential apply" ~count:200
+    (QCheck.make batched_apply_gen) (fun (raw, cuts) ->
+      (* per-client increasing seqs; `Dup re-sends the previous seq *)
+      let seqs = Array.make 4 0 in
+      let cmds =
+        List.map
+          (fun (c, kind, (k, v)) ->
+            let key = Printf.sprintf "k%d" k in
+            let cmd =
+              match kind with
+              | `Get -> Raft.Types.Get { key }
+              | `Put | `Dup -> Raft.Types.Put { key; value = string_of_int v }
+            in
+            let seq =
+              match kind with
+              | `Dup -> max 1 seqs.(c)
+              | `Put | `Get ->
+                seqs.(c) <- seqs.(c) + 1;
+                seqs.(c)
+            in
+            { Raft.Types.b_cmd = cmd; b_client = c; b_seq = seq })
+          raw
+      in
+      (* reference: one apply_cmd per command, in order *)
+      let kv_seq = Raft.Kv.create () in
+      List.iter
+        (fun (b : Raft.Types.bcmd) ->
+          ignore (Raft.Kv.apply_cmd kv_seq ~cmd:b.b_cmd ~client_id:b.b_client ~seq:b.b_seq))
+        cmds;
+      (* batched: cut the same stream into entries at the random sizes *)
+      let kv_b = Raft.Kv.create () in
+      let rec take k l =
+        match (k, l) with
+        | k, x :: r when k > 0 ->
+          let a, b = take (k - 1) r in
+          (x :: a, b)
+        | _, l -> ([], l)
+      in
+      let rec seal idx cmds cuts =
+        match cmds with
+        | [] -> ()
+        | _ ->
+          let n, rest_cuts =
+            match cuts with [] -> (3, []) | c :: r -> (c, r)
+          in
+          let batch, rest = take n cmds in
+          let e : Raft.Types.entry =
+            match batch with
+            | [ (b : Raft.Types.bcmd) ] ->
+              { term = 1; index = idx; cmd = b.b_cmd; client_id = b.b_client; seq = b.b_seq }
+            | _ ->
+              {
+                term = 1;
+                index = idx;
+                cmd = Raft.Types.Batch (Array.of_list batch);
+                client_id = -1;
+                seq = 0;
+              }
+          in
+          ignore (Raft.Kv.apply kv_b e);
+          seal (idx + 1) rest rest_cuts
+      in
+      seal 1 cmds cuts;
+      Raft.Kv.digest kv_seq = Raft.Kv.digest kv_b
+      && Raft.Kv.applied_count kv_seq = Raft.Kv.applied_count kv_b
+      && Raft.Kv.size kv_seq = Raft.Kv.size kv_b)
+
 (* ------------------------------------------------------------------ *)
 (* Network: FIFO per directed link under random latencies *)
 
@@ -325,6 +407,7 @@ let suite =
         QCheck_alcotest.to_alcotest test_rlog_slice_coherent;
         QCheck_alcotest.to_alcotest test_rlog_view_matches_slice;
         QCheck_alcotest.to_alcotest test_kv_exactly_once;
+        QCheck_alcotest.to_alcotest test_batched_apply_equiv;
         QCheck_alcotest.to_alcotest test_net_fifo_property;
         QCheck_alcotest.to_alcotest test_event_algebra;
         QCheck_alcotest.to_alcotest test_station_conservation;

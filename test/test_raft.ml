@@ -267,6 +267,126 @@ let test_pipeline_rewind_after_reject () =
       done)
 
 (* ------------------------------------------------------------------ *)
+(* Group commit: one fsync covers a whole batch, and replies stay
+   correct when the leader is deposed mid-batch *)
+
+let test_single_fsync_per_batch () =
+  let sched = make_env () in
+  let g = Raft.Group.create sched ~n:3 () in
+  let clients = Raft.Group.make_clients g ~count:8 () in
+  in_coroutine sched (fun () ->
+      let leader = Option.get (Raft.Group.wait_for_leader g ()) in
+      let disk = Cluster.Node.disk (Raft.Server.node leader) in
+      Depfast.Sched.sleep sched (Sim.Time.ms 100);
+      Cluster.Disk.reset_stats disk;
+      let done_ = ref 0 in
+      List.iteri
+        (fun ci c ->
+          Depfast.Sched.spawn_here sched (fun () ->
+              for i = 1 to 5 do
+                ignore
+                  (Raft.Client.put c ~key:(Printf.sprintf "c%d" ci)
+                     ~value:(string_of_int i))
+              done;
+              incr done_))
+        clients;
+      Depfast.Sched.sleep sched (Sim.Time.sec 5);
+      check_int "all client loops finished" 8 !done_;
+      (* 40 committed writes, but group commit folds concurrent arrivals
+         into shared entries: strictly fewer WAL fsyncs than ops *)
+      let fsyncs = Cluster.Disk.fsync_count disk in
+      check_bool "at least one batch hit the disk" true (fsyncs > 0);
+      check_bool "fewer fsyncs than committed ops" true (fsyncs < 40);
+      let h = Raft.Server.batch_hist leader in
+      check_bool "batches recorded" true (Sim.Hist.count h > 0);
+      check_bool "multi-command batches formed" true (Sim.Hist.mean h > 1.0);
+      check_int "nothing shed at this load" 0 (Raft.Server.shed_count leader))
+
+let test_batch_replies_across_leader_change () =
+  let sched = make_env () in
+  let g = Raft.Group.create sched ~n:3 () in
+  let clients = Raft.Group.make_clients g ~count:4 () in
+  in_coroutine sched (fun () ->
+      let leader = Option.get (Raft.Group.wait_for_leader g ()) in
+      let lid = Raft.Server.id leader in
+      let oks = Array.make 4 0 in
+      List.iteri
+        (fun ci c ->
+          Depfast.Sched.spawn_here sched (fun () ->
+              for i = 1 to 5 do
+                if
+                  Raft.Client.put c
+                    ~key:(Printf.sprintf "c%d" ci)
+                    ~value:(string_of_int i)
+                then oks.(ci) <- oks.(ci) + 1
+              done))
+        clients;
+      (* depose the leader mid-stream: some commands sit in its admission
+         queue, some in a sealed-but-uncommitted batch.  The clients must
+         retry under the same sequence numbers against the new leader *)
+      Depfast.Sched.sleep sched (Sim.Time.ms 3);
+      let others = List.filter (fun s -> Raft.Server.id s <> lid) g.servers in
+      List.iter (fun s -> Cluster.Rpc.partition g.rpc lid (Raft.Server.id s)) others;
+      Depfast.Sched.sleep sched (Sim.Time.sec 2);
+      List.iter (fun s -> Cluster.Rpc.heal g.rpc lid (Raft.Server.id s)) others;
+      Depfast.Sched.sleep sched (Sim.Time.sec 3);
+      (* every client's every put was acknowledged exactly once, applied
+         exactly once on every replica, and the last write won *)
+      Array.iteri
+        (fun ci n -> check_int (Printf.sprintf "client %d acks" ci) 5 n)
+        oks;
+      List.iter
+        (fun s ->
+          check_int
+            (Printf.sprintf "applied once on s%d" (Raft.Server.id s))
+            20
+            (Raft.Kv.applied_count (Raft.Server.kv s)))
+        g.servers;
+      List.iteri
+        (fun ci c ->
+          match Raft.Client.get c ~key:(Printf.sprintf "c%d" ci) with
+          | Some (Some v) -> Alcotest.(check string) "last write wins" "5" v
+          | _ -> Alcotest.fail "client's key missing after leader change")
+        clients)
+
+let test_admission_shed_fail_fast () =
+  let sched = make_env () in
+  let cfg =
+    { Raft.Config.default with Raft.Config.max_batch = 4; admission_depth = 2 }
+  in
+  let g = Raft.Group.create sched ~cfg ~n:3 () in
+  let clients = Raft.Group.make_clients g ~count:12 () in
+  in_coroutine sched (fun () ->
+      let leader = Option.get (Raft.Group.wait_for_leader g ()) in
+      (* a fail-slow leader disk stretches every group-commit round, so
+         offered load overruns the 2-deep admission queue *)
+      Cluster.Station.set_penalty
+        (Cluster.Disk.station (Cluster.Node.disk (Raft.Server.node leader)))
+        (fun () -> 50.0);
+      let done_ = ref 0 in
+      List.iteri
+        (fun ci c ->
+          Depfast.Sched.spawn_here sched (fun () ->
+              for i = 1 to 6 do
+                ignore
+                  (Raft.Client.put c ~key:(Printf.sprintf "k%d" ci)
+                     ~value:(string_of_int i))
+              done;
+              incr done_))
+        clients;
+      Depfast.Sched.sleep sched (Sim.Time.sec 8);
+      check_int "all client loops finished" 12 !done_;
+      check_bool "overload shed requests" true (Raft.Server.shed_count leader > 0);
+      (* sheds are explicit replies, not drops: every one reached a client *)
+      let client_sheds =
+        List.fold_left (fun a c -> a + Raft.Client.ops_shed c) 0 clients
+      in
+      check_int "every shed reply reached a client" (Raft.Server.shed_count leader)
+        client_sheds;
+      check_bool "queue never past its bound" true
+        (Raft.Server.pending_depth leader <= 2))
+
+(* ------------------------------------------------------------------ *)
 (* Safety properties under randomized fault schedules *)
 
 let safety_run seed =
@@ -353,6 +473,11 @@ let suite =
         Alcotest.test_case "rlog view generation" `Quick test_rlog_view_generation;
         Alcotest.test_case "pipeline rewind after reject" `Quick
           test_pipeline_rewind_after_reject;
+        Alcotest.test_case "single fsync per batch" `Quick test_single_fsync_per_batch;
+        Alcotest.test_case "batch replies across leader change" `Quick
+          test_batch_replies_across_leader_change;
+        Alcotest.test_case "admission shed fails fast" `Quick
+          test_admission_shed_fail_fast;
       ] );
     ( "raft.safety",
       [ Alcotest.test_case "randomized partitions" `Slow test_safety_randomized ] );

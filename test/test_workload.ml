@@ -148,16 +148,18 @@ let test_ycsb_zipfian_skew () =
 (* ------------------------------------------------------------------ *)
 (* Metrics *)
 
-let metrics_with latencies duration =
+let metrics_with ?(shed = 0) ?(leader_fsyncs = 0) latencies duration =
   let h = Sim.Hist.create () in
   List.iter (Sim.Hist.add h) latencies;
   {
     Workload.Metrics.duration;
     completed = List.length latencies;
     failed = 0;
+    shed;
     latency = h;
     leader_utilization = 0.5;
     leader_crashed = false;
+    leader_fsyncs;
   }
 
 let test_metrics_throughput () =
@@ -170,6 +172,17 @@ let test_metrics_normalize () =
   let tput, mean, _ = Workload.Metrics.normalize faulty ~baseline:base in
   Alcotest.(check (float 1e-9)) "tput halved" 0.5 tput;
   Alcotest.(check (float 0.1)) "latency doubled" 2.0 mean
+
+let test_metrics_shed_and_fsyncs () =
+  (* 4 completed, 1 shed: shed rate over offered load; 2 fsyncs over 4
+     committed ops = 0.5 fsyncs/op (group commit amortization) *)
+  let m = metrics_with ~shed:1 ~leader_fsyncs:2 [ 100; 200; 300; 400 ] (Sim.Time.sec 1) in
+  Alcotest.(check (float 1e-9)) "shed rate" 0.2 (Workload.Metrics.shed_rate m);
+  Alcotest.(check (float 1e-9)) "fsyncs per op" 0.5 (Workload.Metrics.fsyncs_per_op m);
+  (* degenerate cases must not divide by zero *)
+  let empty = metrics_with [] (Sim.Time.sec 1) in
+  Alcotest.(check (float 1e-9)) "no offered load" 0.0 (Workload.Metrics.shed_rate empty);
+  Alcotest.(check (float 1e-9)) "no completed ops" 0.0 (Workload.Metrics.fsyncs_per_op empty)
 
 (* ------------------------------------------------------------------ *)
 (* Driver *)
@@ -184,7 +197,7 @@ let test_driver_closed_loop () =
       run_op =
         (fun _ ->
           Depfast.Sched.sleep s (Sim.Time.ms 1);
-          true);
+          Workload.Driver.Committed);
     }
   in
   let m =
@@ -208,7 +221,7 @@ let test_driver_counts_failures () =
         (fun _ ->
           Depfast.Sched.sleep s (Sim.Time.ms 1);
           flip := not !flip;
-          !flip);
+          if !flip then Workload.Driver.Committed else Workload.Driver.Failed);
     }
   in
   let m =
@@ -230,7 +243,7 @@ let test_driver_warmup_excluded () =
         (fun _ ->
           incr ops;
           Depfast.Sched.sleep s (Sim.Time.ms 10);
-          true);
+          Workload.Driver.Committed);
     }
   in
   let m =
@@ -255,7 +268,7 @@ let test_driver_boundary_op_excluded () =
           let d = if !first then Sim.Time.ms 600 else Sim.Time.ms 1 in
           first := false;
           Depfast.Sched.sleep s d;
-          true);
+          Workload.Driver.Committed);
     }
   in
   let m =
@@ -268,6 +281,65 @@ let test_driver_boundary_op_excluded () =
      latency: everything in the histogram is a ~1ms op *)
   check_bool "no warmup-inflated latency" true
     (Sim.Hist.max_value m.Workload.Metrics.latency < Sim.Time.ms 10)
+
+let test_driver_shed_at_warmup_boundary () =
+  let s = make_sched () in
+  let node = Cluster.Node.create s ~id:0 ~name:"client" () in
+  let first = ref true in
+  let client =
+    {
+      Workload.Driver.node;
+      run_op =
+        (fun _ ->
+          (* the only Shed op straddles the warmup boundary (starts at t=0,
+             resolves at t=600ms inside the window): like a straddling
+             commit, it must not leak into the windowed counters *)
+          if !first then begin
+            first := false;
+            Depfast.Sched.sleep s (Sim.Time.ms 600);
+            Workload.Driver.Shed
+          end
+          else begin
+            Depfast.Sched.sleep s (Sim.Time.ms 1);
+            Workload.Driver.Committed
+          end);
+    }
+  in
+  let m =
+    Workload.Driver.run s ~clients:[ client ]
+      ~workload:(Workload.Ycsb.scaled ~records:100 Workload.Ycsb.update_heavy)
+      ~warmup:(Sim.Time.ms 500) ~duration:(Sim.Time.ms 500) ()
+  in
+  check_bool "completed some" true (m.Workload.Metrics.completed > 0);
+  check_int "straddling shed excluded" 0 m.Workload.Metrics.shed
+
+let test_driver_shed_counted_separately () =
+  let s = make_sched () in
+  let node = Cluster.Node.create s ~id:0 ~name:"client" () in
+  let flip = ref false in
+  let client =
+    {
+      Workload.Driver.node;
+      run_op =
+        (fun _ ->
+          Depfast.Sched.sleep s (Sim.Time.ms 1);
+          flip := not !flip;
+          if !flip then Workload.Driver.Committed else Workload.Driver.Shed);
+    }
+  in
+  let m =
+    Workload.Driver.run s ~clients:[ client ]
+      ~workload:(Workload.Ycsb.scaled ~records:100 Workload.Ycsb.update_heavy)
+      ~warmup:0 ~duration:(Sim.Time.ms 100) ()
+  in
+  check_bool "shed counted" true (m.Workload.Metrics.shed > 0);
+  check_bool "completed counted" true (m.Workload.Metrics.completed > 0);
+  check_int "shed ops are not failures" 0 m.Workload.Metrics.failed;
+  (* strict alternation: shed and completed within one of each other *)
+  check_bool "alternating split" true
+    (abs (m.Workload.Metrics.shed - m.Workload.Metrics.completed) <= 1);
+  check_bool "shed rate about half" true
+    (Float.abs (Workload.Metrics.shed_rate m -. 0.5) < 0.05)
 
 let suite =
   [
@@ -295,6 +367,7 @@ let suite =
       [
         Alcotest.test_case "throughput" `Quick test_metrics_throughput;
         Alcotest.test_case "normalization" `Quick test_metrics_normalize;
+        Alcotest.test_case "shed rate and fsyncs per op" `Quick test_metrics_shed_and_fsyncs;
       ] );
     ( "workload.driver",
       [
@@ -302,5 +375,9 @@ let suite =
         Alcotest.test_case "failures counted" `Quick test_driver_counts_failures;
         Alcotest.test_case "warmup excluded" `Quick test_driver_warmup_excluded;
         Alcotest.test_case "boundary op excluded" `Quick test_driver_boundary_op_excluded;
+        Alcotest.test_case "shed at warmup boundary excluded" `Quick
+          test_driver_shed_at_warmup_boundary;
+        Alcotest.test_case "shed counted separately" `Quick
+          test_driver_shed_counted_separately;
       ] );
   ]
