@@ -16,7 +16,9 @@
 
 let params quick = if quick then Harness.Params.quick else Harness.Params.full
 
-(* --json collectors *)
+(* --json collectors: single-run CLI accumulators, never shared across
+   domains — acknowledged rather than guarded *)
+(* depfast-lint: allow unsafe-shared-state *)
 let micro_results : Micro.result list ref = ref []
 let trace_cmp : (float * float) option ref = ref None
 let lint_stats : (int * float * int) option ref = ref None  (* files, wall ms, findings *)
@@ -30,12 +32,20 @@ type macro_row = {
   mr_fsyncs_per_op : float;
 }
 
+(* depfast-lint: allow unsafe-shared-state *)
 let macro_stats : macro_row option ref = ref None
 let macro_nobatch_stats : macro_row option ref = ref None
 let check_stats : (int * int * float * int) option ref = ref None
 (* schedules, pruned, wall ms, findings *)
+(* depfast-lint: allow unsafe-shared-state *)
 let bounds_stats : (int * float * int * int) option ref = ref None
 (* files, wall ms, findings, certificates *)
+(* depfast-lint: allow unsafe-shared-state *)
+let domains_stats : (int * float * int * int * int) option ref = ref None
+(* files, wall ms, findings, cells, unsafe *)
+(* depfast-lint: allow unsafe-shared-state *)
+let nofeed_stats : (int * int) option ref = ref None
+(* schedules, pruned with the DPOR independence feed off *)
 
 (* static-analysis probe: wall time of the per-file lint plus the
    whole-project interprocedural pass over the library sources — the
@@ -87,6 +97,35 @@ let run_bounds_json () =
     Printf.printf
       "bounds probe: %d file(s), %d finding(s), %d certificate(s) in %.1f ms\n%!"
       (List.length files) (List.length fs) (List.length certs) ms
+
+(* domain-safety probe: wall time of the depfast-domains pass (mutable
+   state inventory, effect fixpoint, ownership verdicts, footprints)
+   over the library sources — it runs on every strict lint and inside
+   every certificate build, so it too must stay build-cheap *)
+let run_domains_json () =
+  match List.find_opt Sys.file_exists [ "../lib"; "lib" ] with
+  | None -> Printf.printf "domains probe: sources not available, skipped\n%!"
+  | Some root ->
+    let rec walk p acc =
+      if Sys.is_directory p then
+        Sys.readdir p |> Array.to_list |> List.sort compare
+        |> List.fold_left (fun acc e -> walk (Filename.concat p e) acc) acc
+      else if Filename.check_suffix p ".ml" && not (Filename.check_suffix p ".pp.ml") then
+        p :: acc
+      else acc
+    in
+    let files = List.rev (walk root []) in
+    let t0 = Unix.gettimeofday () in
+    let fs, certs, _footprints = Analysis.Domains.analyze_files files in
+    let ms = (Unix.gettimeofday () -. t0) *. 1000.0 in
+    let unsafe =
+      List.length
+        (List.filter (fun c -> c.Analysis.Growth.c_verdict = Analysis.Growth.Flagged) certs)
+    in
+    domains_stats := Some (List.length files, ms, List.length fs, List.length certs, unsafe);
+    Printf.printf
+      "domains probe: %d file(s), %d finding(s), %d cell(s), %d unsafe in %.1f ms\n%!"
+      (List.length files) (List.length fs) (List.length certs) unsafe ms
 
 (* trace overhead probe: the same DepFastRaft quick cell with the wait-trace
    ring disabled and enabled; tracing must cost well under 10% throughput *)
@@ -143,7 +182,25 @@ let run_check_json () =
   check_stats := Some (schedules, pruned, ms, findings);
   Printf.printf
     "check probe: %d schedule(s) explored, %d pruned, %d finding(s) in %.0f ms\n%!"
-    schedules pruned findings ms
+    schedules pruned findings ms;
+  (* the same registry with no certificates, hence no depfast-domains
+     independence feed: the schedule-count delta is the feed's rent *)
+  let nofeed =
+    List.map
+      (fun (sc : Check.Scenario.t) ->
+        let budget =
+          {
+            Check.Explore.default_budget with
+            Check.Explore.max_schedules = sc.Check.Scenario.default_schedules;
+          }
+        in
+        Check.Explore.explore ~budget sc)
+      Check.Registry.gating_scenarios
+  in
+  let s0 = List.fold_left (fun a r -> a + r.Check.Explore.schedules) 0 nofeed in
+  let p0 = List.fold_left (fun a r -> a + r.Check.Explore.pruned) 0 nofeed in
+  nofeed_stats := Some (s0, p0);
+  Printf.printf "check probe (feed off): %d schedule(s) explored, %d pruned\n%!" s0 p0
 
 (* macro throughput probe: the fig1-shaped healthy cell (3-replica
    DepFastRaft under the closed-loop YCSB-style write workload, no fault
@@ -206,19 +263,20 @@ let run_experiment ~json quick = function
     Micro.print rs
   | "lint" -> run_lint_json ()
   | "bounds" -> run_bounds_json ()
+  | "domains" -> run_domains_json ()
   | "macro" -> run_macro_json quick
   | "check" -> run_check_json ()
   | other ->
     Printf.eprintf
       "unknown experiment %S (expected \
-       table1|fig1|fig2|fig3|ablation|mitigation|micro|lint|bounds|macro|check)\n"
+       table1|fig1|fig2|fig3|ablation|mitigation|micro|lint|bounds|domains|macro|check)\n"
       other;
     exit 2
 
 let all =
   [
     "table1"; "fig1"; "fig2"; "fig3"; "ablation"; "mitigation"; "micro"; "lint";
-    "bounds"; "macro"; "check";
+    "bounds"; "domains"; "macro"; "check";
   ]
 
 (* hand-rolled JSON: two flat sections, no escaping needed beyond labels
@@ -272,13 +330,25 @@ let write_json path =
           \"certificates\": %d}"
          files ms findings certs)
   | None -> ());
+  (match !domains_stats with
+  | Some (files, ms, findings, cells, unsafe) ->
+    Buffer.add_string buf
+      (Printf.sprintf
+         ",\n  \"domains\": {\"files\": %d, \"wall_ms\": %.2f, \"findings\": %d, \
+          \"cells\": %d, \"unsafe\": %d}"
+         files ms findings cells unsafe)
+  | None -> ());
   (match !check_stats with
   | Some (schedules, pruned, ms, findings) ->
     Buffer.add_string buf
       (Printf.sprintf
          ",\n  \"check_smoke\": {\"schedules\": %d, \"pruned\": %d, \"wall_ms\": %.2f, \
-          \"findings\": %d}"
-         schedules pruned ms findings)
+          \"findings\": %d%s}"
+         schedules pruned ms findings
+         (match !nofeed_stats with
+         | Some (s0, p0) ->
+           Printf.sprintf ", \"schedules_nofeed\": %d, \"pruned_nofeed\": %d" s0 p0
+         | None -> ""))
   | None -> ());
   Buffer.add_string buf "\n}\n";
   let oc = open_out path in

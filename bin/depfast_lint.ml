@@ -6,7 +6,9 @@
    lock-order cycles, quorum arity) over all of them together, and —
    with [--bounds] — the boundedness & timeout-coverage pass
    (unbounded-growth, missing-deadline, unbounded-retry) plus its
-   boundedness certificates.
+   boundedness certificates, and — with [--domains] — the domain-safety
+   pass (the mutable-state inventory, ownership verdicts, and
+   [unsafe-shared-state]) plus its domain-safety certificates.
 
    Exit discipline: 0 when nothing gates, 1 when findings gate, 2 on
    usage errors. By default only unallowed [error]-severity findings
@@ -15,8 +17,8 @@
    findings either way. *)
 
 let usage =
-  "usage: depfast_lint [--quiet] [--strict] [--interproc] [--bounds] [--format text|json] \
-   [--rules] [path ...]"
+  "usage: depfast_lint [--quiet] [--strict] [--interproc] [--bounds] [--domains] \
+   [--format text|json] [--rules] [path ...]"
 
 let rec walk path acc =
   if Sys.is_directory path then
@@ -35,6 +37,7 @@ let () =
   let strict = ref false in
   let interproc = ref false in
   let bounds = ref false in
+  let domains = ref false in
   let format = ref `Text in
   let paths = ref [] in
   let show_rules = ref false in
@@ -57,6 +60,7 @@ let () =
           | "--strict" -> strict := true
           | "--interproc" -> interproc := true
           | "--bounds" -> bounds := true
+          | "--domains" -> domains := true
           | "--format" -> expect_format := true
           | "--rules" -> show_rules := true
           | "--help" | "-h" ->
@@ -94,13 +98,21 @@ let () =
       tagged @ List.map (fun f -> ("interproc", f)) (Analysis.Interproc.analyze_files files)
     else tagged
   in
-  let tagged, certs =
+  let tagged, bcerts =
     if !bounds then begin
       let fs, certs = Analysis.Bounds.analyze_files files in
       (tagged @ List.map (fun f -> ("bounds", f)) fs, certs)
     end
     else (tagged, [])
   in
+  let tagged, dcerts =
+    if !domains then begin
+      let fs, certs, _footprints = Analysis.Domains.analyze_files files in
+      (tagged @ List.map (fun f -> ("domains", f)) fs, certs)
+    end
+    else (tagged, [])
+  in
+  let certs = bcerts @ dcerts in
   let tagged =
     List.stable_sort (fun (_, a) (_, b) -> Analysis.Finding.by_location a b) tagged
   in
@@ -117,7 +129,10 @@ let () =
   let gating = Analysis.Finding.gating ~strict:!strict findings in
   let unallowed = Analysis.Finding.unallowed findings in
   let bounded, flagged =
-    List.partition (fun c -> c.Analysis.Growth.c_verdict = Analysis.Growth.Bounded) certs
+    List.partition (fun c -> c.Analysis.Growth.c_verdict = Analysis.Growth.Bounded) bcerts
+  in
+  let unsafe_cells =
+    List.filter (fun c -> c.Analysis.Growth.c_verdict = Analysis.Growth.Flagged) dcerts
   in
   (match !format with
   | `Text ->
@@ -126,7 +141,7 @@ let () =
         if not (!quiet && f.Analysis.Finding.allowed) then
           print_endline (Analysis.Finding.to_string f))
       findings;
-    Printf.printf "depfast-lint: %d file(s), %d finding(s), %d unallowed, %d gating%s%s\n"
+    Printf.printf "depfast-lint: %d file(s), %d finding(s), %d unallowed, %d gating%s%s%s\n"
       (List.length files) (List.length findings) (List.length unallowed)
       (List.length gating)
       (if !interproc then " [interproc]" else "")
@@ -134,13 +149,17 @@ let () =
          Printf.sprintf " [bounds: %d site(s) certified, %d flagged]" (List.length bounded)
            (List.length flagged)
        else "")
+      (if !domains then
+         Printf.sprintf " [domains: %d cell(s), %d unsafe]" (List.length dcerts)
+           (List.length unsafe_cells)
+       else "")
   | `Json ->
     (* one JSON document: summary + findings array, one finding per line *)
     Printf.printf
       "{ \"files\": %d, \"findings\": %d, \"unallowed\": %d, \"gating\": %d, \
-       \"interproc\": %b, \"bounds\": %b, \"strict\": %b, \"results\": [\n"
+       \"interproc\": %b, \"bounds\": %b, \"domains\": %b, \"strict\": %b, \"results\": [\n"
       (List.length files) (List.length findings) (List.length unallowed)
-      (List.length gating) !interproc !bounds !strict;
+      (List.length gating) !interproc !bounds !domains !strict;
     let shown =
       if !quiet then
         List.filter (fun ((_, f) : _ * Analysis.Finding.t) -> not f.Analysis.Finding.allowed) tagged
@@ -156,7 +175,7 @@ let () =
           pass body
           (if i < List.length shown - 1 then "," else ""))
       shown;
-    if !bounds then begin
+    if !bounds || !domains then begin
       Printf.printf "], \"certificates\": [\n";
       List.iteri
         (fun i c ->

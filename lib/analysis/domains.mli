@@ -1,0 +1,61 @@
+(** Front end 5: depfast-domains — domain-safety verdicts over the
+    mutable-state inventory.
+
+    Built on {!Effects}: every top-level mutable cell gets an ownership
+    verdict and a machine-readable certificate (same shape as the
+    boundedness certificates, under the [unsafe-shared-state] rule):
+
+    - {b immutable-after-init}: never written anywhere in the tree —
+      safe to share across domains by construction;
+    - {b engine-owned}: a [mutable] field written only through threaded
+      record values ([t.f <- ...]) — domain-local as long as the owner
+      record is;
+    - {b guarded}: every write lexically under a canonical
+      [Depfast.Mutex] region, or the cell is an [Atomic];
+    - {b unsafe-shared} ([Flagged] + an [Error] finding at the cell's
+      definition): written outside any Mutex region or owner record —
+      a data race once the tree runs on OCaml 5 domains.
+
+    The pass also exports per-file {e effect footprints} (the union of
+    the file's closed read/write sets): two files whose write sets are
+    disjoint from each other's read+write sets are statically
+    independent, which the schedule explorer ([lib/check]) uses to
+    enlarge DPOR persistent-set pruning — cross-checked dynamically by
+    sanitizer probes, since the static footprints cannot see writes
+    through escaped aliases. *)
+
+type cert = Growth.cert = {
+  c_rule : string;
+  c_kind : string;
+  c_file : string;
+  c_line : int;
+  c_site : string;
+  c_verdict : Growth.verdict;
+  c_evidence : string;  (** ["<class>: <witness>"] *)
+}
+
+type footprint = string * (string list * string list)
+(** [(path, (cells read, cells written))] — whole-file effect union,
+    restricted to schedule-relevant cells: [.field] effects (engine-owned,
+    judged at their top-level base cells) and atomic cells (linearizable
+    counters like [Event.next_id]) are excluded, so the file-level
+    independence relation reflects genuinely shared module-level state.
+    This optimism is validated dynamically by the explorer's probes. *)
+
+(** Verdict class names, as they appear in certificate evidence. *)
+
+val class_immutable : string
+val class_engine : string
+val class_guarded : string
+val class_unsafe : string
+
+val analyze : Growth.project -> Finding.t list * cert list * footprint list
+(** Findings are pragma-unapplied; certificates sorted by site, one per
+    inventory cell; footprints in project file order. *)
+
+val analyze_sources :
+  (string * string) list -> Finding.t list * cert list * footprint list
+(** [(path, contents)] pairs — the whole project at once; findings are
+    pragma-applied and sorted by location. *)
+
+val analyze_files : string list -> Finding.t list * cert list * footprint list

@@ -28,6 +28,9 @@ let unbounded_growth = "unbounded-growth"
 let missing_deadline = "missing-deadline"
 let unbounded_retry = "unbounded-retry"
 
+(* domain-safety rule (the depfast-domains pass) *)
+let unsafe_shared_state = "unsafe-shared-state"
+
 (* dynamic rules, reported by the schedule-space checker (lib/check) *)
 let lost_wakeup = "lost-wakeup"
 let double_wake = "double-wake"
@@ -60,6 +63,9 @@ let rules =
       in the same call-graph component");
     (missing_deadline, "untimed quorum wait with no timer/or_ escape on any path");
     (unbounded_retry, "retry loop around a timed-out remote call with no attempt bound or backoff");
+    (unsafe_shared_state,
+     "top-level mutable cell written outside any Mutex region or owner record: \
+      unsafe to share across OCaml 5 domains");
     (lost_wakeup, "coroutine parked on an event that is ready, with no wakeup delivered");
     (double_wake, "more than one wakeup delivered for a single park");
     (parked_on_abandoned, "coroutine parked forever on an abandoned event");

@@ -77,6 +77,12 @@ val unbounded_retry : string
     an attempt bound nor a backoff sleep: under a fail-slow peer it
     turns into a tight, unbounded resend loop. *)
 
+val unsafe_shared_state : string
+(** Domain safety (the depfast-domains pass): a top-level mutable cell
+    written outside any [Depfast.Mutex] region or engine-owned record —
+    a data race waiting to happen once the tree runs on OCaml 5
+    domains. *)
+
 (** Dynamic rules, reported by the schedule-space checker ([lib/check])
     rather than by a static pass. *)
 

@@ -291,6 +291,7 @@ let load sources =
   p
 
 let files p = p.files
+let callees p q = try Hashtbl.find p.calls q with Not_found -> []
 
 let fn_of_token fc i =
   List.find_opt (fun f -> f.g_b <= i && i < f.g_e) fc.fc_fns

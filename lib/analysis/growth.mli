@@ -75,6 +75,13 @@ val load : (string * string) list -> project
 val files : project -> file_ctx list
 val fn_of_token : file_ctx -> int -> fn option
 
+val callees : project -> string -> string list
+(** Resolved call edges out of a function, sorted; [[]] if unknown. *)
+
+val skip_group : Lexer.token array -> int -> int
+(** Index past one argument-shaped token group: a dotted name, a
+    balanced ()/[]/{} group, or a single token. *)
+
 val remote_reachable : project -> string -> bool
 (** Is the function with this qualified name reachable from any
     remote-triggered root? *)

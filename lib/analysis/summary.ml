@@ -9,10 +9,23 @@ type t = {
   mutable suspends : bool;
   mutable wait_params : int list;
   mutable acquires : string list;
+  mutable reads : string list;
+  mutable writes : string list;
 }
 
 let create ~qname ~file ~line ~params =
-  { qname; file; line; params; ret = []; suspends = false; wait_params = []; acquires = [] }
+  {
+    qname;
+    file;
+    line;
+    params;
+    ret = [];
+    suspends = false;
+    wait_params = [];
+    acquires = [];
+    reads = [];
+    writes = [];
+  }
 
 let add_wait_param t i =
   if not (List.mem i t.wait_params) then t.wait_params <- List.sort compare (i :: t.wait_params)
@@ -20,8 +33,14 @@ let add_wait_param t i =
 let add_acquire t l =
   if not (List.mem l t.acquires) then t.acquires <- List.sort compare (l :: t.acquires)
 
+let add_read t c =
+  if not (List.mem c t.reads) then t.reads <- List.sort compare (c :: t.reads)
+
+let add_write t c =
+  if not (List.mem c t.writes) then t.writes <- List.sort compare (c :: t.writes)
+
 (* Fingerprint of the mutable facts, for fixpoint change detection. *)
-let fingerprint t = (t.ret, t.suspends, t.wait_params, t.acquires)
+let fingerprint t = (t.ret, t.suspends, t.wait_params, t.acquires, t.reads, t.writes)
 
 let ret_string r =
   let comp = function
@@ -34,7 +53,10 @@ let ret_string r =
   | cs -> "(" ^ String.concat ", " (List.map comp cs) ^ ")"
 
 let to_string t =
-  Printf.sprintf "%s (%s:%d): ret=%s suspends=%b wait_params=[%s] acquires=[%s]" t.qname
-    t.file t.line (ret_string t.ret) t.suspends
+  Printf.sprintf
+    "%s (%s:%d): ret=%s suspends=%b wait_params=[%s] acquires=[%s] reads=[%s] writes=[%s]"
+    t.qname t.file t.line (ret_string t.ret) t.suspends
     (String.concat ";" (List.map string_of_int t.wait_params))
     (String.concat ";" t.acquires)
+    (String.concat ";" t.reads)
+    (String.concat ";" t.writes)

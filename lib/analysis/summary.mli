@@ -12,7 +12,10 @@
     - [wait_params]: positional parameters that (transitively) reach a
       wait inside the function;
     - [acquires]: canonical mutex names the function may acquire,
-      including through its callees. *)
+      including through its callees;
+    - [reads]/[writes]: canonical mutable cells ({!Effects}) the
+      function may read or write, including through its callees — the
+      effect footprint behind the depfast-domains pass. *)
 
 type ret = Source_lint.kind option list
 
@@ -25,13 +28,17 @@ type t = {
   mutable suspends : bool;
   mutable wait_params : int list;  (** sorted positions *)
   mutable acquires : string list;  (** sorted canonical lock names *)
+  mutable reads : string list;  (** sorted canonical cells read *)
+  mutable writes : string list;  (** sorted canonical cells written *)
 }
 
 val create : qname:string -> file:string -> line:int -> params:string list -> t
 val add_wait_param : t -> int -> unit
 val add_acquire : t -> string -> unit
+val add_read : t -> string -> unit
+val add_write : t -> string -> unit
 
-val fingerprint : t -> ret * bool * int list * string list
+val fingerprint : t -> ret * bool * int list * string list * string list * string list
 (** Snapshot of the mutable facts, for fixpoint change detection. *)
 
 val to_string : t -> string

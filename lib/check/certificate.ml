@@ -26,6 +26,9 @@ type t = {
       (* files with any unbounded-growth finding, allowed or not: a
          pragma acknowledges the defect, it does not bound the site, so
          the boundedness certificate must not vouch for the file *)
+  footprints : (string, string list * string list) Hashtbl.t;
+      (* per-file (cells read, cells written) from the depfast-domains
+         pass — the static DPOR independence feed *)
 }
 
 let of_findings ~files findings =
@@ -34,6 +37,7 @@ let of_findings ~files findings =
       files = Hashtbl.create 64;
       flagged = Hashtbl.create 16;
       growth_flagged = Hashtbl.create 16;
+      footprints = Hashtbl.create 64;
     }
   in
   List.iter (fun f -> Hashtbl.replace t.files f ()) files;
@@ -71,14 +75,17 @@ let build ~roots () =
   let files = List.rev (List.fold_left walk [] roots) in
   let sources = List.map (fun p -> (p, read_file p)) files in
   let bounds_findings, _certs = Analysis.Bounds.analyze_sources sources in
+  let domains_findings, _dcerts, footprints = Analysis.Domains.analyze_sources sources in
   let findings =
     Analysis.Interproc.analyze_sources sources
     @ List.concat_map
         (fun (p, src) -> Analysis.Source_lint.lint_string ~path:p src)
         sources
-    @ bounds_findings
+    @ bounds_findings @ domains_findings
   in
-  of_findings ~files findings
+  let t = of_findings ~files findings in
+  List.iter (fun (path, fp) -> Hashtbl.replace t.footprints path fp) footprints;
+  t
 
 (* Paths from different origins (repo-relative, test-sandbox-relative,
    absolute) are matched on their suffix: "lib/check/fixtures.ml" matches
@@ -99,6 +106,31 @@ let mem_by_suffix tbl file =
 let covered t file = mem_by_suffix t.files file
 let clean t file = covered t file && not (mem_by_suffix t.flagged file)
 let bounded_clean t file = covered t file && not (mem_by_suffix t.growth_flagged file)
+
+let footprint_by_suffix t file =
+  Hashtbl.fold
+    (fun path fp acc ->
+      match acc with
+      | Some _ -> acc
+      | None ->
+        if suffix_matches ~path ~suffix:file || suffix_matches ~path:file ~suffix:path
+        then Some fp
+        else None)
+    t.footprints None
+
+(* Two distinct files are independent when neither's write set meets the
+   other's read or write set. Same-file pairs are never independent:
+   file-level footprints cannot see closure-captured locals, and two
+   transitions from one file routinely share them. Files with no
+   recorded footprint conservatively conflict with everything. *)
+let independent t fa fb =
+  fa <> fb
+  &&
+  match (footprint_by_suffix t fa, footprint_by_suffix t fb) with
+  | Some (ra, wa), Some (rb, wb) ->
+    let disjoint xs ys = not (List.exists (fun x -> List.mem x ys) xs) in
+    disjoint wa rb && disjoint wa wb && disjoint wb ra
+  | _ -> false
 
 let flagged_files t =
   List.sort compare (Hashtbl.fold (fun f () acc -> f :: acc) t.flagged [])

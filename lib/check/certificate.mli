@@ -15,8 +15,9 @@ type t
 
 val build : roots:string list -> unit -> t
 (** Walk the given directories for [.ml] files (skipping [_build] and
-    [.git]), run the static passes (including {!Analysis.Bounds}), and
-    record per-file verdicts. *)
+    [.git]), run the static passes (including {!Analysis.Bounds} and
+    {!Analysis.Domains}), and record per-file verdicts plus the per-file
+    effect footprints feeding {!independent}. *)
 
 val of_findings : files:string list -> Analysis.Finding.t list -> t
 (** Assemble a certificate from already-computed findings (for tests). *)
@@ -33,6 +34,16 @@ val bounded_clean : t -> string -> bool
     not: a pragma acknowledges a defect without bounding the site, so
     the boundedness certificate never vouches for a pragma'd file. The
     explorer's queue-depth gauges cross-check against this verdict. *)
+
+val independent : t -> string -> string -> bool
+(** The static DPOR feed: are these two {e distinct} source files
+    independent under the depfast-domains effect footprints — neither
+    file's write set meets the other's read or write set (over
+    schedule-relevant top-level cells)? Same-file pairs and files
+    without a recorded footprint are never independent. The explorer
+    uses a [true] here to drop same-node transition pairs from the
+    persistent set, and its sanitizer probes cross-check the claim
+    dynamically. Paths are compared by suffix, like {!covered}. *)
 
 val flagged_files : t -> string list
 (** Certified-set files carrying at least one unallowed wait finding,

@@ -12,7 +12,17 @@ open Sim
    same node (unknown provenance conflicts with everything). This is
    exact for share-nothing message-passing scenarios — cross-node effects
    travel through Link-tagged deliveries — and scenarios with genuinely
-   shared state put every coroutine on one node, disabling pruning. *)
+   shared state put every coroutine on one node, disabling pruning.
+
+   The depfast-domains certificate refines the same-node case: two
+   same-node transitions whose coroutines trace to distinct source files
+   that the static effect footprints hold independent (disjoint
+   read/write sets over top-level cells) do not conflict either. That
+   optimism is cross-checked dynamically: sanitizer probes observe
+   registered shared cells at every choice point, attributing value
+   changes to the file of the transition that just ran; two files
+   claimed independent that both mutate one probed cell are reported as
+   a [certificate-mismatch]. *)
 
 exception Out_of_steps
 
@@ -34,6 +44,11 @@ type run = {
   r_quiescent : bool;
   r_violations : Sanitizer.violation list;
   r_overflows : Sanitizer.overflow list;  (* gauges past their declared cap *)
+  r_probes : (string * string * string list) list;
+      (* probe label, owning file, files observed mutating the cell *)
+  r_tag_file : Engine.tag -> string option;
+      (* scenario provenance of a transition tag, via this run's monitor
+         (coroutine ids are run-local, so the mapping is too) *)
 }
 
 let footprint = function
@@ -47,10 +62,10 @@ let conflicts a b =
   | None, _ | _, None -> true
   | Some x, Some y -> x = y
 
-(* conflict closure of [chosen] within [tags]: true for members of the
-   persistent set; everything outside it is provably independent of the
-   chosen transition (under the footprint heuristic) and safe to skip *)
-let persistent_set tags chosen =
+(* conflict closure of [chosen] within [tags] under an arbitrary conflict
+   relation: true for members of the persistent set; everything outside
+   it is provably independent of the chosen transition and safe to skip *)
+let persistent_set_by conflict tags chosen =
   let n = Array.length tags in
   let inset = Array.make n false in
   inset.(chosen) <- true;
@@ -60,7 +75,7 @@ let persistent_set tags chosen =
     for i = 0 to n - 1 do
       if not inset.(i) then
         for j = 0 to n - 1 do
-          if inset.(j) && conflicts tags.(i) tags.(j) then begin
+          if inset.(j) && conflict tags.(i) tags.(j) then begin
             inset.(i) <- true;
             changed := true
           end
@@ -68,6 +83,8 @@ let persistent_set tags chosen =
     done
   done;
   inset
+
+let persistent_set tags chosen = persistent_set_by conflicts tags chosen
 
 let run_one (scenario : Scenario.t) ~prefix ~budget =
   let engine = Engine.create ~seed:1L () in
@@ -78,6 +95,15 @@ let run_one (scenario : Scenario.t) ~prefix ~budget =
   let truncated = ref false in
   let steps = ref [] in
   let plen = Array.length prefix in
+  let tag_file tag =
+    match tag with
+    | Engine.Coro (cid, _) -> (
+      match Sanitizer.coro_name san cid with
+      | Some name -> scenario.Scenario.provenance name
+      | None -> None)
+    | _ -> None
+  in
+  let last_writer = ref None in
   Engine.set_chooser engine (fun tags ->
       (* queue-depth watermarks: every choice point is a reachable
          state, so the gauges see the containers mid-interleaving, not
@@ -94,6 +120,15 @@ let run_one (scenario : Scenario.t) ~prefix ~budget =
         steps := Array.copy tags :: !steps;
         0
       end);
+  (* probe attribution rides the step observer, not the chooser: it sees
+     every transition — singleton steps included — so a probed-cell
+     change since the last sample is always the work of the previous
+     transition (scenario setup runs under writer None) *)
+  Engine.set_step_observer engine
+    (Some
+       (fun tag ->
+         Sanitizer.sample_probes san ~writer:!last_writer;
+         last_writer := tag_file tag));
   let inst = scenario.Scenario.make san sched in
   (try Depfast.Sched.run ?until:inst.Scenario.until sched with
   | Out_of_steps -> truncated := true
@@ -102,6 +137,7 @@ let run_one (scenario : Scenario.t) ~prefix ~budget =
       ("uncaught exception: " ^ Printexc.to_string e));
   let quiescent = (not !truncated) && Engine.pending engine = 0 in
   Sanitizer.sample_gauges san;
+  Sanitizer.sample_probes san ~writer:!last_writer;
   if quiescent then Sanitizer.check_quiescent san else Sanitizer.check_live san;
   List.iter
     (fun msg -> Sanitizer.report san ~rule:Analysis.Finding.invariant_violation msg)
@@ -122,6 +158,8 @@ let run_one (scenario : Scenario.t) ~prefix ~budget =
     r_quiescent = quiescent;
     r_violations = Sanitizer.violations san;
     r_overflows = Sanitizer.gauge_overflows san;
+    r_probes = Sanitizer.probe_writers san;
+    r_tag_file = tag_file;
   }
 
 (* a deduplicated violation site across all explored schedules *)
@@ -174,6 +212,35 @@ let explore ?(budget = default_budget) ?certs (scenario : Scenario.t) =
   let site_order = ref [] in
   (* gauge overflows aggregated across schedules: label -> worst case *)
   let overflows : (string, Sanitizer.overflow) Hashtbl.t = Hashtbl.create 4 in
+  (* probe writer sets aggregated across schedules: label -> owner, files *)
+  let probe_agg : (string, string * string list ref) Hashtbl.t = Hashtbl.create 4 in
+  (* the static independence feed: memoized over file pairs, since the
+     same pairs recur at every choice point of every schedule *)
+  let indep =
+    match certs with
+    | None -> fun _ _ -> false
+    | Some certs ->
+      let memo = Hashtbl.create 16 in
+      fun fa fb ->
+        match Hashtbl.find_opt memo (fa, fb) with
+        | Some v -> v
+        | None ->
+          let v = Certificate.independent certs fa fb in
+          Hashtbl.add memo (fa, fb) v;
+          v
+  in
+  (* per-run conflict relation: the node heuristic, refined on same-node
+     pairs by the certificate feed when both tags trace to source files *)
+  let conflict_for (run : run) a b =
+    match (footprint a, footprint b) with
+    | None, _ | _, None -> true
+    | Some x, Some y ->
+      x = y
+      &&
+      (match (run.r_tag_file a, run.r_tag_file b) with
+      | Some fa, Some fb -> not (indep fa fb)
+      | _ -> true)
+  in
   while !stack <> [] && !schedules < budget.max_schedules do
     match !stack with
     | [] -> ()
@@ -216,6 +283,13 @@ let explore ?(budget = default_budget) ?certs (scenario : Scenario.t) =
           | Some prev when prev.Sanitizer.o_watermark >= o.Sanitizer.o_watermark -> ()
           | _ -> Hashtbl.replace overflows o.Sanitizer.o_label o)
         run.r_overflows;
+      List.iter
+        (fun (label, owner, writers) ->
+          match Hashtbl.find_opt probe_agg label with
+          | Some (_, acc) ->
+            List.iter (fun w -> if not (List.mem w !acc) then acc := w :: !acc) writers
+          | None -> Hashtbl.add probe_agg label (owner, ref writers))
+        run.r_probes;
       let plen = Array.length prefix in
       if lineage < budget.delay_bound then begin
         let pushes = ref [] in
@@ -224,7 +298,7 @@ let explore ?(budget = default_budget) ?certs (scenario : Scenario.t) =
             let abs = plen + j in
             let n = Array.length tags in
             if abs < budget.max_depth then begin
-              let inset = persistent_set tags 0 in
+              let inset = persistent_set_by (conflict_for run) tags 0 in
               let psize = Array.fold_left (fun a b -> if b then a + 1 else a) 0 inset in
               pruned := !pruned + (n - psize);
               for alt = n - 1 downto 1 do
@@ -291,9 +365,36 @@ let explore ?(budget = default_budget) ?certs (scenario : Scenario.t) =
                        o.Sanitizer.o_watermark o.Sanitizer.o_cap o.Sanitizer.o_file))
              else None)
   in
+  (* the independence cross-check: two files the static footprints hold
+     independent must never both mutate one probed cell — if they did,
+     the DPOR feed pruned schedules it had no right to prune *)
+  let probe_mismatches =
+    Hashtbl.fold (fun label (owner, writers) acc -> (label, owner, !writers) :: acc)
+      probe_agg []
+    |> List.sort compare
+    |> List.concat_map (fun (label, owner, writers) ->
+           let files = List.sort_uniq compare (owner :: writers) in
+           List.concat_map
+             (fun fa ->
+               List.filter_map
+                 (fun fb ->
+                   if fa < fb && indep fa fb then
+                     Some
+                       (Analysis.Finding.v ~rule:Analysis.Finding.certificate_mismatch
+                          ~severity:Analysis.Finding.Error
+                          ~loc:(Analysis.Finding.File { file = fa; line = 0 })
+                          (Printf.sprintf
+                             "%s: files %s and %s both mutated probed cell %s, but \
+                              the static effect footprints hold them independent — \
+                              the DPOR feed claimed a false independence"
+                             scenario.Scenario.name fa fb label))
+                   else None)
+                 files)
+             files)
+  in
   let findings =
     List.map (finding_of_site scenario.Scenario.name) dynamic @ mismatches
-    @ gauge_mismatches
+    @ gauge_mismatches @ probe_mismatches
     |> List.sort_uniq (fun a b ->
            let c = Analysis.Finding.by_location a b in
            if c <> 0 then c else compare a b)

@@ -14,7 +14,14 @@
     (cross-node effects travel through [Link]-tagged deliveries, which
     conflict on their destination); scenarios with genuinely shared state
     put all coroutines on one node, which disables pruning and falls back
-    to full enumeration. *)
+    to full enumeration.
+
+    With a {!Certificate.t}, the depfast-domains effect footprints refine
+    the same-node case: two same-node transitions whose coroutines trace
+    (via the scenario's provenance map) to distinct files that
+    {!Certificate.independent} holds disjoint do not conflict either.
+    Sanitizer probes cross-check the claim dynamically — two such files
+    both observed mutating one probed cell raise [certificate-mismatch]. *)
 
 type budget = {
   max_schedules : int;  (** explored runs *)
@@ -35,6 +42,10 @@ type run = {
   r_violations : Sanitizer.violation list;
   r_overflows : Sanitizer.overflow list;
       (** queue-depth gauges whose watermark passed the declared cap *)
+  r_probes : (string * string * string list) list;
+      (** probe label, owning file, files observed mutating the cell *)
+  r_tag_file : Sim.Engine.tag -> string option;
+      (** scenario provenance of a transition tag, via this run's monitor *)
 }
 
 val run_one : Scenario.t -> prefix:int array -> budget:budget -> run
@@ -60,7 +71,12 @@ val explore : ?budget:budget -> ?certs:Certificate.t -> Scenario.t -> result
     certified-clean file additionally raises [certificate-mismatch].
     Queue-depth gauges registered by the scenario are sampled at every
     choice point and terminal state; an overflow whose file is
-    {!Certificate.bounded_clean} also raises [certificate-mismatch]. *)
+    {!Certificate.bounded_clean} also raises [certificate-mismatch].
+    Shared-cell probes are likewise sampled at every choice point; two
+    files held {!Certificate.independent} that both mutate one probed
+    cell raise [certificate-mismatch] (the DPOR feed claimed a false
+    independence). Without [certs] the feed is off: pruning falls back
+    to the pure node heuristic. *)
 
 (**/**)
 

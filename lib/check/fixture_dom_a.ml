@@ -1,0 +1,38 @@
+(* Domain-safety fixture A: a module-level queue deliberately shared
+   outside any lock or owner record.
+
+   [track] is the depfast-domains pass's canonical unsafe-shared cell:
+   every worker writes it with no Mutex region in sight, so the pass
+   emits a Flagged certificate and an [unsafe-shared-state] finding —
+   acknowledged by the pragma below, since being that cell is this
+   fixture's whole job. The explorer registers a probe over it, and the
+   [domains-false-independence] scenario routes writes into it from
+   {!Fixture_dom_b} through a parameter alias the static effect
+   footprints cannot see — the seeded mismatch that proves the dynamic
+   cross-check works. *)
+
+(* depfast-lint: allow unsafe-shared-state *)
+let track : int Queue.t = Queue.create ()
+
+let export () = track
+let depth () = Queue.length track
+let reset () = Queue.clear track
+let bump i = Queue.add i track
+
+let drain () =
+  while not (Queue.is_empty track) do
+    ignore (Queue.pop track)
+  done
+
+(* The spawn closure names only [worker_loop], whose call component
+   holds both the growth site ([bump]) and its drain — keeping the
+   boundedness certificate clean over this deliberately-racy file. *)
+let worker_loop sched ~rounds =
+  for i = 1 to rounds do
+    bump i;
+    Depfast.Sched.yield sched
+  done;
+  drain ()
+
+let spawn_worker sched ~name ~rounds =
+  Depfast.Sched.spawn sched ~node:0 ~name (fun () -> worker_loop sched ~rounds)

@@ -1,0 +1,37 @@
+(* Domain-safety fixture B: a lock-free counter, plus the seeded blind
+   spot for the probe cross-check.
+
+   [counter] is the guarded exemplar: an [Atomic], so every operation is
+   a linearizable read-modify-write and the depfast-domains pass
+   certifies it without a Mutex. Atomic cells are also excluded from the
+   file's independence footprint, which leaves this file's footprint
+   empty — statically independent of {!Fixture_dom_a}.
+
+   [relay] is the blind spot made flesh: it writes whatever queue it is
+   handed, and a parameter alias canonicalizes to ["?q"] — invisible to
+   both the growth and the effect analyses. Hand it
+   [Fixture_dom_a.export ()] and this file mutates A's [track] while the
+   static footprints still hold the two files independent: exactly the
+   false-independence claim the explorer's probes must catch. *)
+
+let counter = Atomic.make 0
+
+let value () = Atomic.get counter
+let reset () = Atomic.set counter 0
+let bump () = Atomic.incr counter
+
+let spawn_worker sched ~name ~rounds =
+  Depfast.Sched.spawn sched ~node:0 ~name (fun () ->
+      for _ = 1 to rounds do
+        bump ();
+        Depfast.Sched.yield sched
+      done)
+
+let relay q n = Queue.add n q
+
+let spawn_relay sched ~name q ~rounds =
+  Depfast.Sched.spawn sched ~node:0 ~name (fun () ->
+      for i = 1 to rounds do
+        relay q i;
+        Depfast.Sched.yield sched
+      done)

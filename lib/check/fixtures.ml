@@ -49,6 +49,9 @@ let spawn_broken_quorum sched =
    dynamic half of the depfast-bounds story: a static drain that is
    structurally present but never scheduled is no bound at all. *)
 
+(* unsafe-shared by design: the producer/consumer pair races on it with
+   no lock, which is half of what makes the fixture a fixture *)
+(* depfast-lint: allow unsafe-shared-state *)
 let backlog = Queue.create ()
 let backlog_cap = 4
 

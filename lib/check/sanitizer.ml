@@ -39,11 +39,27 @@ type gauge = {
 
 type overflow = { o_label : string; o_file : string; o_cap : int; o_watermark : int }
 
+(* A shared-cell probe for the domains cross-check: a scenario-registered
+   observation of a top-level mutable cell's value. The explorer samples
+   every probe at each choice point, attributing a change since the last
+   sample to the source file of the transition that just ran; the set of
+   files observed mutating the cell is the dynamic half of the static
+   independence feed (two files the effect footprints hold independent
+   must never both appear as writers of one probed cell). *)
+type probe = {
+  p_label : string;
+  p_file : string;  (* file owning the probed cell *)
+  p_read : unit -> int;
+  mutable p_last : int option;
+  mutable p_writers : string list;  (* files observed changing the value *)
+}
+
 type t = {
   sched : Depfast.Sched.t;
   coros : (int, coro) Hashtbl.t;
   events : (int, Depfast.Event.t) Hashtbl.t;  (* every event seen at a park *)
   mutable gauges : gauge list;
+  mutable probes : probe list;
   mutable violations : violation list;  (* reverse report order *)
 }
 
@@ -95,6 +111,29 @@ let sample_gauges t =
       end)
     t.gauges
 
+let add_probe t ~label ~file read =
+  t.probes <-
+    { p_label = label; p_file = file; p_read = read; p_last = None; p_writers = [] }
+    :: t.probes
+
+let sample_probes t ~writer =
+  List.iter
+    (fun p ->
+      let v = p.p_read () in
+      (match (p.p_last, writer) with
+      | Some old, Some f when v <> old ->
+        if not (List.mem f p.p_writers) then p.p_writers <- f :: p.p_writers
+      | _ -> ());
+      p.p_last <- Some v)
+    t.probes
+
+let probe_writers t =
+  List.map (fun p -> (p.p_label, p.p_file, List.sort compare p.p_writers)) t.probes
+  |> List.sort compare
+
+let coro_name t cid =
+  match Hashtbl.find_opt t.coros cid with Some c -> Some c.c_name | None -> None
+
 let gauge_overflows t =
   List.filter_map
     (fun g ->
@@ -112,6 +151,7 @@ let create sched =
       coros = Hashtbl.create 64;
       events = Hashtbl.create 64;
       gauges = [];
+      probes = [];
       violations = [];
     }
   in

@@ -48,6 +48,27 @@ val gauge_overflows : t -> overflow list
 (** Gauges whose watermark exceeded the cap, sorted — input to the
     explorer's boundedness-certificate cross-check. *)
 
+val add_probe : t -> label:string -> file:string -> (unit -> int) -> unit
+(** Register a shared-cell probe for the domains cross-check: an
+    observation of a top-level mutable cell's value (depth, counter,
+    ...). [file] is the source file owning the cell. The explorer
+    samples all probes at every choice point. *)
+
+val sample_probes : t -> writer:string option -> unit
+(** Read every probe; a value change since the last sample is
+    attributed to [writer] — the source file of the transition that
+    just ran — building the per-cell dynamic writer sets. *)
+
+val probe_writers : t -> (string * string * string list) list
+(** [(label, owning file, files observed mutating the cell)], sorted —
+    input to the explorer's independence cross-check: two files the
+    static effect footprints hold independent must never both mutate
+    one probed cell. *)
+
+val coro_name : t -> int -> string option
+(** The registered name of a coroutine id, from the monitor's shadow —
+    lets the explorer map transition tags back to scenario provenance. *)
+
 val report :
   t ->
   rule:string ->

@@ -53,12 +53,13 @@ let dummy =
     peers_cache = None;
   }
 
-let next_id = ref 0
+(* a lock-free counter, so id allocation stays domain-safe once engines
+   run on separate OCaml 5 domains (ids start at 1; 0 is [dummy]) *)
+let next_id = Atomic.make 0
 
 let make_p label peer kind arity =
-  incr next_id;
   {
-    id = !next_id;
+    id = Atomic.fetch_and_add next_id 1 + 1;
     kind;
     label;
     arity;

@@ -19,6 +19,10 @@ type chooser = tag array -> int
    installed; the steady-state engine pays one [None] check per call. *)
 type explore = {
   choose : chooser;
+  mutable observe : (tag -> unit) option;
+      (* called with every transition about to run — including singleton
+         steps the chooser never sees, so per-step attribution (the
+         probe cross-check) stays exact *)
   mutable ex_tags : tag array;
   mutable ex_fns : (unit -> unit) array;
   mutable ex_n : int;
@@ -83,6 +87,7 @@ let set_chooser t choose =
   let ex =
     {
       choose;
+      observe = None;
       ex_tags = [||];
       ex_fns = [||];
       ex_n = 0;
@@ -93,6 +98,11 @@ let set_chooser t choose =
   Queue.iter (fun f -> ex_push ex Anon f) t.ready;
   Queue.clear t.ready;
   t.ex <- Some ex
+
+let set_step_observer t observe =
+  match t.ex with
+  | None -> invalid_arg "Engine.set_step_observer: no chooser installed"
+  | Some ex -> ex.observe <- observe
 
 let exploring t = t.ex <> None
 
@@ -186,6 +196,7 @@ let step_explore t ex =
         i
       end
     in
+    (match ex.observe with Some f -> f ex.ex_tags.(i) | None -> ());
     (ex_take ex i) ();
     true
   end

@@ -47,6 +47,12 @@ val set_chooser : t -> chooser -> unit
     sibling no longer suppresses its thunk — it runs as a (guarded) no-op.
     Future timers cancel normally. *)
 
+val set_step_observer : t -> (tag -> unit) option -> unit
+(** Explore mode only: called with the tag of {e every} transition about
+    to run — including singleton steps, which never reach the chooser.
+    The explorer's probe cross-check uses this for exact per-transition
+    attribution of shared-cell mutations. *)
+
 val exploring : t -> bool
 
 val create : ?seed:int64 -> unit -> t

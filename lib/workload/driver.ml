@@ -13,9 +13,11 @@ let run sched ~clients ~workload ~warmup ~duration ?leader_node () =
   let completed = ref 0 in
   let failed = ref 0 in
   let shed = ref 0 in
+  (* one zipfian memo per run, shared by this run's clients only *)
+  let memo = Ycsb.make_memo () in
   List.iter
     (fun c ->
-      let gen = Ycsb.make_gen workload (Engine.split_rng engine) in
+      let gen = Ycsb.make_gen ~memo workload (Engine.split_rng engine) in
       Cluster.Node.spawn c.node ~name:"ycsb-client" (fun () ->
           let rec loop () =
             if Engine.now engine < t_end && Cluster.Node.alive c.node then begin

@@ -21,19 +21,28 @@ let key_of_rank _ rank = "user" ^ string_of_int rank
 
 type gen = { wl : t; rng : Sim.Rng.t; zipf : Sim.Rng.t -> int; value_pool : string array }
 
-(* the zipfian constants cost O(record_count) to compute; share them across
-   the hundreds of client generators of a run *)
-let zipf_memo : (int * float, Sim.Rng.t -> int) Hashtbl.t = Hashtbl.create 8
+(* The zipfian constants cost O(record_count) to compute; a memo shares
+   them across the hundreds of client generators of one run. The memo is
+   caller-scoped (one per driver run) rather than a module-level table:
+   a shared global here would be cross-domain mutable state — exactly
+   what the depfast-domains pass flags as unsafe-shared. *)
+type memo = (int * float, Sim.Rng.t -> int) Hashtbl.t
 
-let make_gen wl rng =
+let make_memo () : memo = Hashtbl.create 8
+
+let make_gen ?memo wl rng =
   let key = (wl.record_count, wl.zipf_theta) in
+  let fresh () = Sim.Dist.make_zipfian ~n:wl.record_count ~theta:wl.zipf_theta in
   let zipf =
-    match Hashtbl.find_opt zipf_memo key with
-    | Some z -> z
-    | None ->
-      let z = Sim.Dist.make_zipfian ~n:wl.record_count ~theta:wl.zipf_theta in
-      Hashtbl.replace zipf_memo key z;
-      z
+    match memo with
+    | None -> fresh ()
+    | Some m -> (
+      match Hashtbl.find_opt m key with
+      | Some z -> z
+      | None ->
+        let z = fresh () in
+        Hashtbl.replace m key z;
+        z)
   in
   (* a small pool of pre-built values: contents are irrelevant to the
      simulation, size drives the cost model *)

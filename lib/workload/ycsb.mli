@@ -27,6 +27,15 @@ val key_of_rank : t -> int -> string
 type gen
 (** Per-client operation generator (owns its RNG stream). *)
 
-val make_gen : t -> Sim.Rng.t -> gen
+type memo
+(** Caller-scoped cache for the O(record_count) zipfian constants —
+    create one per run and pass it to every [make_gen] of that run. A
+    module-level table here would be cross-domain mutable state (the
+    depfast-domains pass's [unsafe-shared] verdict). *)
+
+val make_memo : unit -> memo
+
+val make_gen : ?memo:memo -> t -> Sim.Rng.t -> gen
+(** Without [?memo] the zipfian constants are computed fresh. *)
 
 val next_op : gen -> op

@@ -1,0 +1,9 @@
+(* the broken twin of dom_engine_ok: the record itself is a module-level
+   global, so the field writes land on shared state after all *)
+
+type t = { mutable depth : int; cap : int }
+
+let shared = { depth = 0; cap = 8 }
+
+let bump () = shared.depth <- shared.depth + 1
+let level () = shared.depth

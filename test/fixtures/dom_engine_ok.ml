@@ -1,0 +1,9 @@
+(* engine-owned: a mutable field written only through threaded record
+   values — domain-local as long as each owner record is *)
+
+type t = { mutable depth : int; cap : int }
+
+let make cap = { depth = 0; cap }
+let push t = t.depth <- t.depth + 1
+let pop t = t.depth <- t.depth - 1
+let full t = t.depth >= t.cap

@@ -1,0 +1,8 @@
+(* the broken twin of dom_guarded_ok: one write path skips the lock, so
+   the guarded verdict is forfeit *)
+
+let mu = Depfast.Mutex.create ~label:"dg.mu" ()
+let hits = ref 0
+
+let record sched = Depfast.Mutex.with_lock sched mu (fun () -> incr hits)
+let reset () = hits := 0

@@ -1,0 +1,8 @@
+(* guarded: every write to the shared counter sits lexically under the
+   canonical Depfast.Mutex region *)
+
+let mu = Depfast.Mutex.create ~label:"dg.mu" ()
+let hits = ref 0
+
+let record sched = Depfast.Mutex.with_lock sched mu (fun () -> incr hits)
+let snapshot sched = Depfast.Mutex.with_lock sched mu (fun () -> !hits)

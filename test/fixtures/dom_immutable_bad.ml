@@ -1,0 +1,7 @@
+(* the broken twin of dom_immutable_ok: one unlocked write is all it
+   takes to turn the shared table into a data race *)
+
+let limits : (string, int) Hashtbl.t = Hashtbl.create 8
+
+let lookup k = Hashtbl.find_opt limits k
+let set k v = Hashtbl.replace limits k v

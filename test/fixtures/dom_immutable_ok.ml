@@ -1,0 +1,7 @@
+(* immutable-after-init: a module-level table built once and only ever
+   read — safe to share across domains by construction *)
+
+let limits : (string, int) Hashtbl.t = Hashtbl.create 8
+
+let lookup k = Hashtbl.find_opt limits k
+let known k = Hashtbl.mem limits k

@@ -1,0 +1,9 @@
+(* the pragma'd twin of dom_unsafe_bad: the race is acknowledged, so the
+   finding carries allowed=true and nothing gates *)
+
+(* depfast-lint: allow unsafe-shared-state *)
+let total = ref 0
+
+let raw_add n = total := !total + n
+let add n = raw_add n
+let read () = !total

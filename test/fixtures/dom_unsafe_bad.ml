@@ -1,0 +1,9 @@
+(* unsafe-shared: a bare module-level ref written with no lock, no owner
+   record, no atomics — the flagged class. The write flows through a
+   callee, so catching it needs the interprocedural effect fixpoint. *)
+
+let total = ref 0
+
+let raw_add n = total := !total + n
+let add n = raw_add n
+let read () = !total
