@@ -16,7 +16,7 @@
 let usage =
   "usage: depfast_check [--list] [--all] [--format text|json] [--no-certs] \
    [--certs-root dir]* [--max-schedules n] [--max-steps n] [--max-depth n] \
-   [--delay-bound n] [--quiet] [scenario ...]"
+   [--delay-bound n] [--jobs n] [--quiet] [scenario ...]"
 
 type opts = {
   mutable format : [ `Text | `Json ];
@@ -29,6 +29,7 @@ type opts = {
   mutable max_steps : int option;
   mutable max_depth : int option;
   mutable delay_bound : int option;
+  mutable jobs : int;
   mutable names : string list;
 }
 
@@ -45,6 +46,7 @@ let parse_args () =
       max_steps = None;
       max_depth = None;
       delay_bound = None;
+      jobs = 1;
       names = [];
     }
   in
@@ -75,7 +77,16 @@ let parse_args () =
           | `Max_schedules -> o.max_schedules <- Some (int_arg "--max-schedules" arg)
           | `Max_steps -> o.max_steps <- Some (int_arg "--max-steps" arg)
           | `Max_depth -> o.max_depth <- Some (int_arg "--max-depth" arg)
-          | `Delay_bound -> o.delay_bound <- Some (int_arg "--delay-bound" arg))
+          | `Delay_bound -> o.delay_bound <- Some (int_arg "--delay-bound" arg)
+          | `Jobs -> (
+            (* 0 means auto: one worker per available core (capped) *)
+            match int_of_string_opt arg with
+            | Some 0 -> o.jobs <- Sim.Dpool.recommended_jobs ()
+            | Some n when n > 0 -> o.jobs <- n
+            | _ ->
+              Printf.eprintf
+                "depfast_check: --jobs needs a non-negative integer, got %S\n" arg;
+              exit 2))
         | None -> (
           match arg with
           | "--list" -> o.list_only <- true
@@ -88,6 +99,7 @@ let parse_args () =
           | "--max-steps" -> expect := Some `Max_steps
           | "--max-depth" -> expect := Some `Max_depth
           | "--delay-bound" -> expect := Some `Delay_bound
+          | "--jobs" | "-j" -> expect := Some `Jobs
           | "--help" | "-h" ->
             print_endline usage;
             exit 0
@@ -155,13 +167,14 @@ let () =
       Some (Check.Certificate.build ~roots ())
     end
   in
-  let t0 = Sys.time () in
+  let t0 = Unix.gettimeofday () in
   let results =
     List.map
-      (fun sc -> Check.Explore.explore ~budget:(budget_for o sc) ?certs sc)
+      (fun sc ->
+        Check.Explore.explore ~budget:(budget_for o sc) ?certs ~jobs:o.jobs sc)
       scenarios
   in
-  let wall_ms = (Sys.time () -. t0) *. 1000.0 in
+  let wall_ms = (Unix.gettimeofday () -. t0) *. 1000.0 in
   let all_findings = List.concat_map (fun r -> r.Check.Explore.findings) results in
   let gating = Analysis.Finding.gating ~strict:false all_findings in
   let total_schedules =
@@ -186,9 +199,9 @@ let () =
       results;
     Printf.printf
       "depfast-check: %d scenario(s), %d schedules explored, %d pruned, %d finding(s), \
-       %d gating, %.0f ms%s\n"
+       %d gating, %.0f ms, %d job(s)%s\n"
       (List.length results) total_schedules total_pruned (List.length all_findings)
-      (List.length gating) wall_ms
+      (List.length gating) wall_ms o.jobs
       (match certs with
       | Some c ->
         Printf.sprintf " [certs: %d files, %d flagged]" (Check.Certificate.covered_count c)

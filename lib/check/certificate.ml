@@ -29,6 +29,11 @@ type t = {
   footprints : (string, string list * string list) Hashtbl.t;
       (* per-file (cells read, cells written) from the depfast-domains
          pass — the static DPOR independence feed *)
+  unsafe_shared : (string, unit) Hashtbl.t;
+      (* files with any unsafe-shared-state finding, allowed or not: a
+         pragma acknowledges the race, it does not make the cell
+         domain-safe, so the parallel explorer must not run such a
+         file's scenarios concurrently *)
 }
 
 let of_findings ~files findings =
@@ -38,6 +43,7 @@ let of_findings ~files findings =
       flagged = Hashtbl.create 16;
       growth_flagged = Hashtbl.create 16;
       footprints = Hashtbl.create 64;
+      unsafe_shared = Hashtbl.create 16;
     }
   in
   List.iter (fun f -> Hashtbl.replace t.files f ()) files;
@@ -49,7 +55,9 @@ let of_findings ~files findings =
         if (not f.Analysis.Finding.allowed) && List.mem f.Analysis.Finding.rule wait_rules
         then Hashtbl.replace t.flagged file ();
         if f.Analysis.Finding.rule = Analysis.Finding.unbounded_growth then
-          Hashtbl.replace t.growth_flagged file ())
+          Hashtbl.replace t.growth_flagged file ();
+        if f.Analysis.Finding.rule = Analysis.Finding.unsafe_shared_state then
+          Hashtbl.replace t.unsafe_shared file ())
     findings;
   t
 
@@ -106,6 +114,7 @@ let mem_by_suffix tbl file =
 let covered t file = mem_by_suffix t.files file
 let clean t file = covered t file && not (mem_by_suffix t.flagged file)
 let bounded_clean t file = covered t file && not (mem_by_suffix t.growth_flagged file)
+let domain_clean t file = not (mem_by_suffix t.unsafe_shared file)
 
 let footprint_by_suffix t file =
   Hashtbl.fold
@@ -137,5 +146,8 @@ let flagged_files t =
 
 let growth_flagged_files t =
   List.sort compare (Hashtbl.fold (fun f () acc -> f :: acc) t.growth_flagged [])
+
+let unsafe_shared_files t =
+  List.sort compare (Hashtbl.fold (fun f () acc -> f :: acc) t.unsafe_shared [])
 
 let covered_count t = Hashtbl.length t.files

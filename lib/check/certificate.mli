@@ -35,6 +35,13 @@ val bounded_clean : t -> string -> bool
     the boundedness certificate never vouches for a pragma'd file. The
     explorer's queue-depth gauges cross-check against this verdict. *)
 
+val domain_clean : t -> string -> bool
+(** Free of {e any} [unsafe-shared-state] finding — allowed or not: a
+    pragma acknowledges a data race without removing the cell, so the
+    parallel explorer refuses to run a scenario's runs concurrently
+    while any of its modules carries one. This is the gate that lets
+    the static domains pass certify the parallelism safe. *)
+
 val independent : t -> string -> string -> bool
 (** The static DPOR feed: are these two {e distinct} source files
     independent under the depfast-domains effect footprints — neither
@@ -52,5 +59,9 @@ val flagged_files : t -> string list
 val growth_flagged_files : t -> string list
 (** Certified-set files carrying at least one unbounded-growth finding
     (allowed or not), sorted. *)
+
+val unsafe_shared_files : t -> string list
+(** Files carrying at least one unsafe-shared-state finding (allowed or
+    not), sorted. *)
 
 val covered_count : t -> int

@@ -162,6 +162,23 @@ let run_one (scenario : Scenario.t) ~prefix ~budget =
     r_tag_file = tag_file;
   }
 
+(* Canonical prefix order: shorter first, then lexicographic. Schedule
+   "first seen" attributions rank by this order rather than exploration
+   order, so serial and parallel runs — which visit the frontier in
+   different orders — report byte-identical findings. *)
+let prefix_compare a b =
+  let la = Array.length a and lb = Array.length b in
+  if la <> lb then compare la lb
+  else begin
+    let rec go i =
+      if i = la then 0
+      else
+        let c = compare a.(i) b.(i) in
+        if c <> 0 then c else go (i + 1)
+    in
+    go 0
+  end
+
 (* a deduplicated violation site across all explored schedules *)
 type site = {
   s_rule : string;
@@ -171,7 +188,9 @@ type site = {
   s_event_label : string;
   s_message : string;
   mutable s_runs : int;  (* schedules exhibiting it *)
-  s_first : int;  (* first schedule (exploration order) that did *)
+  mutable s_min_prefix : int array;
+      (* canonically least explored prefix exhibiting it; ranked against
+         all explored prefixes at report time *)
 }
 
 type result = {
@@ -185,7 +204,7 @@ type result = {
   findings : Analysis.Finding.t list;  (* deduplicated, sorted *)
 }
 
-let finding_of_site scenario s =
+let finding_of_site scenario ~first s =
   (* the event id is run-local (global counter, fresh engine per run):
      zeroed so reports are stable across runs and invocations *)
   let loc = Analysis.Finding.Node { event_id = 0; event_label = s.s_event_label } in
@@ -194,132 +213,209 @@ let finding_of_site scenario s =
      else Printf.sprintf " [coroutine %s, node %d]" s.s_coroutine s.s_node)
     ^ Printf.sprintf " (%d schedule%s, first #%d)" s.s_runs
         (if s.s_runs = 1 then "" else "s")
-        s.s_first
+        first
   in
   Analysis.Finding.v ~rule:s.s_rule ~severity:Analysis.Finding.Error ~loc
     (Printf.sprintf "%s: %s%s" scenario s.s_message context)
 
-let explore ?(budget = default_budget) ?certs (scenario : Scenario.t) =
-  let stack = ref [ ([||], 0) ] in
-  let schedules = ref 0 in
-  let pruned = ref 0 in
-  let truncated_runs = ref 0 in
-  let nonquiescent_runs = ref 0 in
-  let deepest = ref 0 in
-  let sites : (string * string * string * string, site) Hashtbl.t =
-    Hashtbl.create 16
-  in
-  let site_order = ref [] in
-  (* gauge overflows aggregated across schedules: label -> worst case *)
-  let overflows : (string, Sanitizer.overflow) Hashtbl.t = Hashtbl.create 4 in
-  (* probe writer sets aggregated across schedules: label -> owner, files *)
-  let probe_agg : (string, string * string list ref) Hashtbl.t = Hashtbl.create 4 in
-  (* the static independence feed: memoized over file pairs, since the
-     same pairs recur at every choice point of every schedule *)
-  let indep =
-    match certs with
-    | None -> fun _ _ -> false
-    | Some certs ->
-      let memo = Hashtbl.create 16 in
-      fun fa fb ->
-        match Hashtbl.find_opt memo (fa, fb) with
-        | Some v -> v
-        | None ->
-          let v = Certificate.independent certs fa fb in
-          Hashtbl.add memo (fa, fb) v;
-          v
-  in
+(* ---- exploration core, shared by the serial and parallel paths ------- *)
+
+(* Per-worker accumulator. Every field merges commutatively (sums, max,
+   keyed unions with canonical tie-breaks), so folding worker results in
+   any order — or running everything in one worker — yields the same
+   report. The independence memo is worker-local: the same file pairs
+   recur at every choice point of every schedule, and a shared table
+   would be a cross-domain race. *)
+type acc = {
+  mutable a_schedules : int;
+  mutable a_pruned : int;
+  mutable a_truncated : int;
+  mutable a_nonquiescent : int;
+  mutable a_deepest : int;
+  mutable a_prefixes : int array list;  (* every prefix this worker ran *)
+  a_sites : (string * string * string * string, site) Hashtbl.t;
+  a_overflows : (string, Sanitizer.overflow) Hashtbl.t;
+  a_probes : (string, string * string list ref) Hashtbl.t;
+  a_indep : string -> string -> bool;
+}
+
+let make_indep certs =
+  match certs with
+  | None -> fun _ _ -> false
+  | Some certs ->
+    let memo = Hashtbl.create 16 in
+    fun fa fb ->
+      match Hashtbl.find_opt memo (fa, fb) with
+      | Some v -> v
+      | None ->
+        let v = Certificate.independent certs fa fb in
+        Hashtbl.add memo (fa, fb) v;
+        v
+
+let fresh_acc ~indep () =
+  {
+    a_schedules = 0;
+    a_pruned = 0;
+    a_truncated = 0;
+    a_nonquiescent = 0;
+    a_deepest = 0;
+    a_prefixes = [];
+    a_sites = Hashtbl.create 16;
+    a_overflows = Hashtbl.create 4;
+    a_probes = Hashtbl.create 4;
+    a_indep = indep;
+  }
+
+(* deterministic "worst overflow" order: higher watermark wins, ties go
+   to the least record — never to whichever run happened to land first *)
+let overflow_beats (o : Sanitizer.overflow) (p : Sanitizer.overflow) =
+  o.Sanitizer.o_watermark > p.Sanitizer.o_watermark
+  || (o.Sanitizer.o_watermark = p.Sanitizer.o_watermark && compare o p < 0)
+
+(* Execute one frontier item against [acc] and return the child items it
+   backtracks to. The children depend only on the item (runs re-execute
+   deterministically), so the frontier reached from the root is one fixed
+   tree no matter which worker visits which node in what order. *)
+let process_item (scenario : Scenario.t) ~budget acc (prefix, lineage) =
+  let run = run_one scenario ~prefix ~budget in
+  acc.a_schedules <- acc.a_schedules + 1;
+  acc.a_prefixes <- prefix :: acc.a_prefixes;
+  if run.r_truncated then acc.a_truncated <- acc.a_truncated + 1;
+  if not run.r_quiescent then acc.a_nonquiescent <- acc.a_nonquiescent + 1;
+  if run.r_nsteps > acc.a_deepest then acc.a_deepest <- run.r_nsteps;
+  List.iter
+    (fun (v : Sanitizer.violation) ->
+      (* event *ids* are a process-global counter, different in every
+         re-executed run — sites are identified by label instead *)
+      let key = (v.Sanitizer.rule, v.Sanitizer.coroutine, v.Sanitizer.event_label,
+                 v.Sanitizer.message)
+      in
+      match Hashtbl.find_opt acc.a_sites key with
+      | Some s ->
+        s.s_runs <- s.s_runs + 1;
+        if prefix_compare prefix s.s_min_prefix < 0 then s.s_min_prefix <- prefix
+      | None ->
+        Hashtbl.replace acc.a_sites key
+          {
+            s_rule = v.Sanitizer.rule;
+            s_coroutine = v.Sanitizer.coroutine;
+            s_node = v.Sanitizer.node;
+            s_event_id = v.Sanitizer.event_id;
+            s_event_label = v.Sanitizer.event_label;
+            s_message = v.Sanitizer.message;
+            s_runs = 1;
+            s_min_prefix = prefix;
+          })
+    run.r_violations;
+  List.iter
+    (fun (o : Sanitizer.overflow) ->
+      match Hashtbl.find_opt acc.a_overflows o.Sanitizer.o_label with
+      | Some prev when not (overflow_beats o prev) -> ()
+      | _ -> Hashtbl.replace acc.a_overflows o.Sanitizer.o_label o)
+    run.r_overflows;
+  List.iter
+    (fun (label, owner, writers) ->
+      match Hashtbl.find_opt acc.a_probes label with
+      | Some (_, seen) ->
+        List.iter (fun w -> if not (List.mem w !seen) then seen := w :: !seen) writers
+      | None -> Hashtbl.add acc.a_probes label (owner, ref writers))
+    run.r_probes;
   (* per-run conflict relation: the node heuristic, refined on same-node
      pairs by the certificate feed when both tags trace to source files *)
-  let conflict_for (run : run) a b =
+  let conflict a b =
     match (footprint a, footprint b) with
     | None, _ | _, None -> true
     | Some x, Some y ->
       x = y
       &&
       (match (run.r_tag_file a, run.r_tag_file b) with
-      | Some fa, Some fb -> not (indep fa fb)
+      | Some fa, Some fb -> not (acc.a_indep fa fb)
       | _ -> true)
   in
-  while !stack <> [] && !schedules < budget.max_schedules do
-    match !stack with
-    | [] -> ()
-    | (prefix, lineage) :: rest ->
-      stack := rest;
-      let run = run_one scenario ~prefix ~budget in
-      let sid = !schedules in
-      incr schedules;
-      if run.r_truncated then incr truncated_runs;
-      if not run.r_quiescent then incr nonquiescent_runs;
-      if run.r_nsteps > !deepest then deepest := run.r_nsteps;
-      List.iter
-        (fun (v : Sanitizer.violation) ->
-          (* event *ids* are a process-global counter, different in every
-             re-executed run — sites are identified by label instead *)
-          let key = (v.Sanitizer.rule, v.Sanitizer.coroutine, v.Sanitizer.event_label,
-                     v.Sanitizer.message)
-          in
-          match Hashtbl.find_opt sites key with
-          | Some s -> s.s_runs <- s.s_runs + 1
-          | None ->
-            let s =
-              {
-                s_rule = v.Sanitizer.rule;
-                s_coroutine = v.Sanitizer.coroutine;
-                s_node = v.Sanitizer.node;
-                s_event_id = v.Sanitizer.event_id;
-                s_event_label = v.Sanitizer.event_label;
-                s_message = v.Sanitizer.message;
-                s_runs = 1;
-                s_first = sid;
-              }
-            in
-            Hashtbl.replace sites key s;
-            site_order := s :: !site_order)
-        run.r_violations;
-      List.iter
-        (fun (o : Sanitizer.overflow) ->
-          match Hashtbl.find_opt overflows o.Sanitizer.o_label with
-          | Some prev when prev.Sanitizer.o_watermark >= o.Sanitizer.o_watermark -> ()
-          | _ -> Hashtbl.replace overflows o.Sanitizer.o_label o)
-        run.r_overflows;
-      List.iter
-        (fun (label, owner, writers) ->
-          match Hashtbl.find_opt probe_agg label with
-          | Some (_, acc) ->
-            List.iter (fun w -> if not (List.mem w !acc) then acc := w :: !acc) writers
-          | None -> Hashtbl.add probe_agg label (owner, ref writers))
-        run.r_probes;
-      let plen = Array.length prefix in
-      if lineage < budget.delay_bound then begin
-        let pushes = ref [] in
-        Array.iteri
-          (fun j tags ->
-            let abs = plen + j in
-            let n = Array.length tags in
-            if abs < budget.max_depth then begin
-              let inset = persistent_set_by (conflict_for run) tags 0 in
-              let psize = Array.fold_left (fun a b -> if b then a + 1 else a) 0 inset in
-              pruned := !pruned + (n - psize);
-              for alt = n - 1 downto 1 do
-                if inset.(alt) then begin
-                  (* this run chose 0 at steps plen..abs-1; deviate at abs *)
-                  let p' = Array.make (abs + 1) 0 in
-                  Array.blit prefix 0 p' 0 plen;
-                  p'.(abs) <- alt;
-                  pushes := (p', lineage + 1) :: !pushes
-                end
-              done
+  let plen = Array.length prefix in
+  if lineage < budget.delay_bound then begin
+    let pushes = ref [] in
+    Array.iteri
+      (fun j tags ->
+        let abs = plen + j in
+        let n = Array.length tags in
+        if abs < budget.max_depth then begin
+          let inset = persistent_set_by conflict tags 0 in
+          let psize = Array.fold_left (fun a b -> if b then a + 1 else a) 0 inset in
+          acc.a_pruned <- acc.a_pruned + (n - psize);
+          for alt = n - 1 downto 1 do
+            if inset.(alt) then begin
+              (* this run chose 0 at steps plen..abs-1; deviate at abs *)
+              let p' = Array.make (abs + 1) 0 in
+              Array.blit prefix 0 p' 0 plen;
+              p'.(abs) <- alt;
+              pushes := (p', lineage + 1) :: !pushes
             end
-            else pruned := !pruned + (n - 1))
-          run.r_steps;
-        stack := !pushes @ !stack
-      end
-      else
-        Array.iter (fun tags -> pruned := !pruned + (Array.length tags - 1)) run.r_steps
-  done;
-  let complete = !stack = [] && !truncated_runs = 0 in
-  let dynamic = List.rev !site_order in
+          done
+        end
+        else acc.a_pruned <- acc.a_pruned + (n - 1))
+      run.r_steps;
+    !pushes
+  end
+  else begin
+    Array.iter
+      (fun tags -> acc.a_pruned <- acc.a_pruned + (Array.length tags - 1))
+      run.r_steps;
+    []
+  end
+
+let merge_into dst src =
+  dst.a_schedules <- dst.a_schedules + src.a_schedules;
+  dst.a_pruned <- dst.a_pruned + src.a_pruned;
+  dst.a_truncated <- dst.a_truncated + src.a_truncated;
+  dst.a_nonquiescent <- dst.a_nonquiescent + src.a_nonquiescent;
+  if src.a_deepest > dst.a_deepest then dst.a_deepest <- src.a_deepest;
+  dst.a_prefixes <- List.rev_append src.a_prefixes dst.a_prefixes;
+  Hashtbl.iter
+    (fun key (s : site) ->
+      match Hashtbl.find_opt dst.a_sites key with
+      | Some d ->
+        d.s_runs <- d.s_runs + s.s_runs;
+        if prefix_compare s.s_min_prefix d.s_min_prefix < 0 then
+          d.s_min_prefix <- s.s_min_prefix
+      | None -> Hashtbl.replace dst.a_sites key s)
+    src.a_sites;
+  Hashtbl.iter
+    (fun label o ->
+      match Hashtbl.find_opt dst.a_overflows label with
+      | Some prev when not (overflow_beats o prev) -> ()
+      | _ -> Hashtbl.replace dst.a_overflows label o)
+    src.a_overflows;
+  Hashtbl.iter
+    (fun label (owner, writers) ->
+      match Hashtbl.find_opt dst.a_probes label with
+      | Some (_, seen) ->
+        List.iter (fun w -> if not (List.mem w !seen) then seen := w :: !seen) !writers
+      | None -> Hashtbl.add dst.a_probes label (owner, ref !writers))
+    src.a_probes
+
+(* Build the report from a merged accumulator. Site "first" numbers are
+   ranks in the canonical order over all explored prefixes; every list
+   that reaches the findings is sorted, so the output is a pure function
+   of the explored prefix SET — the property the parallel determinism
+   tests pin. *)
+let finalize (scenario : Scenario.t) ~certs ~indep ~complete acc =
+  let ordered = List.sort prefix_compare acc.a_prefixes in
+  let rank = Hashtbl.create (List.length ordered) in
+  List.iteri (fun i p -> Hashtbl.replace rank p i) ordered;
+  let first_of s =
+    match Hashtbl.find_opt rank s.s_min_prefix with Some i -> i | None -> 0
+  in
+  let dynamic =
+    Hashtbl.fold (fun _ s l -> s :: l) acc.a_sites []
+    |> List.sort (fun a b ->
+           let c = compare (first_of a) (first_of b) in
+           if c <> 0 then c
+           else
+             compare
+               (a.s_rule, a.s_coroutine, a.s_event_label, a.s_message)
+               (b.s_rule, b.s_coroutine, b.s_event_label, b.s_message))
+  in
   let mismatches =
     match certs with
     | None -> []
@@ -349,7 +445,7 @@ let explore ?(budget = default_budget) ?certs (scenario : Scenario.t) =
     match certs with
     | None -> []
     | Some certs ->
-      Hashtbl.fold (fun _ o acc -> o :: acc) overflows []
+      Hashtbl.fold (fun _ o acc -> o :: acc) acc.a_overflows []
       |> List.sort compare
       |> List.filter_map (fun (o : Sanitizer.overflow) ->
              if Certificate.bounded_clean certs o.Sanitizer.o_file then
@@ -370,7 +466,7 @@ let explore ?(budget = default_budget) ?certs (scenario : Scenario.t) =
      the DPOR feed pruned schedules it had no right to prune *)
   let probe_mismatches =
     Hashtbl.fold (fun label (owner, writers) acc -> (label, owner, !writers) :: acc)
-      probe_agg []
+      acc.a_probes []
     |> List.sort compare
     |> List.concat_map (fun (label, owner, writers) ->
            let files = List.sort_uniq compare (owner :: writers) in
@@ -393,19 +489,141 @@ let explore ?(budget = default_budget) ?certs (scenario : Scenario.t) =
              files)
   in
   let findings =
-    List.map (finding_of_site scenario.Scenario.name) dynamic @ mismatches
-    @ gauge_mismatches @ probe_mismatches
+    List.map (fun s -> finding_of_site scenario.Scenario.name ~first:(first_of s) s)
+      dynamic
+    @ mismatches @ gauge_mismatches @ probe_mismatches
     |> List.sort_uniq (fun a b ->
            let c = Analysis.Finding.by_location a b in
            if c <> 0 then c else compare a b)
   in
   {
     scenario = scenario.Scenario.name;
-    schedules = !schedules;
-    pruned = !pruned;
-    truncated_runs = !truncated_runs;
-    nonquiescent_runs = !nonquiescent_runs;
-    deepest = !deepest;
+    schedules = acc.a_schedules;
+    pruned = acc.a_pruned;
+    truncated_runs = acc.a_truncated;
+    nonquiescent_runs = acc.a_nonquiescent;
+    deepest = acc.a_deepest;
     complete;
     findings;
   }
+
+(* ---- the two drivers ------------------------------------------------- *)
+
+let explore_serial ~budget ~certs scenario =
+  let acc = fresh_acc ~indep:(make_indep certs) () in
+  let stack = ref [ ([||], 0) ] in
+  while !stack <> [] && acc.a_schedules < budget.max_schedules do
+    match !stack with
+    | [] -> ()
+    | item :: rest ->
+      stack := rest;
+      stack := process_item scenario ~budget acc item @ !stack
+  done;
+  finalize scenario ~certs ~indep:acc.a_indep
+    ~complete:(!stack = [] && acc.a_truncated = 0)
+    acc
+
+(* Parallel driver: one Chase–Lev deque per worker domain holding
+   frontier items; a worker pops its own bottom (depth-first locally,
+   keeping frontiers small) and steals from others' tops when dry. A
+   frontier item counts in [pending] from push to retirement; children
+   are published before the parent retires, so [pending] reaching zero
+   really is termination. The schedule budget is claimed through one
+   atomic counter — exactly [max_schedules] claims execute; later claims
+   drop their item (recorded, so [complete] stays honest). Idle workers
+   sleep on a wakeup gate: producers bump it after pushing, the last
+   retirement bumps it for termination, and on a box with fewer cores
+   than workers sleeping beats burning a timeslice spinning. *)
+let explore_parallel ~budget ~certs ~jobs scenario =
+  let deques = Array.init jobs (fun _ -> Wsq.create ()) in
+  Wsq.push deques.(0) ([||], 0);
+  let pending = Atomic.make 1 in
+  let claimed = Atomic.make 0 in
+  let dropped = Atomic.make false in
+  let gate = Dpool.Gate.create () in
+  let worker w =
+    let acc = fresh_acc ~indep:(make_indep certs) () in
+    let my = deques.(w) in
+    let steal_any () =
+      let rec scan tries =
+        if tries = 0 then None
+        else begin
+          let got = ref None in
+          let raced = ref false in
+          for k = 1 to jobs - 1 do
+            if !got = None then
+              match Wsq.steal deques.((w + k) mod jobs) with
+              | Wsq.Stolen it -> got := Some it
+              | Wsq.Retry -> raced := true
+              | Wsq.Empty -> ()
+          done;
+          match !got with
+          | Some _ as r -> r
+          | None -> if !raced then scan (tries - 1) else None
+        end
+      in
+      scan 32
+    in
+    let take () =
+      match Wsq.pop my with Some _ as r -> r | None -> steal_any ()
+    in
+    let handle item =
+      let pushes =
+        if Atomic.fetch_and_add claimed 1 >= budget.max_schedules then begin
+          Atomic.set dropped true;
+          []
+        end
+        else process_item scenario ~budget acc item
+      in
+      let n = List.length pushes in
+      List.iter (Wsq.push my) pushes;
+      if n > 0 then ignore (Atomic.fetch_and_add pending n);
+      let left = Atomic.fetch_and_add pending (-1) - 1 in
+      if n > 0 || left = 0 then Dpool.Gate.wake_all gate
+    in
+    let rec loop () =
+      if Atomic.get pending > 0 then
+        match take () with
+        | Some item ->
+          handle item;
+          loop ()
+        | None ->
+          (* epoch-fenced sleep: re-check for work after reading the
+             epoch so a wakeup between scan and sleep is never lost *)
+          let seen = Dpool.Gate.epoch gate in
+          (match take () with
+          | Some item -> handle item
+          | None -> if Atomic.get pending > 0 then Dpool.Gate.await gate ~seen);
+          loop ()
+    in
+    loop ();
+    acc
+  in
+  let accs = Dpool.scatter ~jobs worker in
+  let acc = accs.(0) in
+  for i = 1 to jobs - 1 do
+    merge_into acc accs.(i)
+  done;
+  finalize scenario ~certs ~indep:(make_indep certs)
+    ~complete:((not (Atomic.get dropped)) && acc.a_truncated = 0)
+    acc
+
+let explore ?(budget = default_budget) ?certs ?(jobs = 1) (scenario : Scenario.t) =
+  (* Concurrent runs are gated twice: the scenario must declare its runs
+     self-contained (par_safe), and — when certificates are in play — no
+     module it exercises may carry an unsafe-shared-state verdict. The
+     static domains pass is what certifies the parallelism safe; absent
+     that safety, fall back to one domain rather than race. *)
+  let jobs =
+    if jobs <= 1 then 1
+    else if not scenario.Scenario.par_safe then 1
+    else
+      match certs with
+      | Some c
+        when not
+               (List.for_all (Certificate.domain_clean c) scenario.Scenario.modules)
+        -> 1
+      | _ -> jobs
+  in
+  if jobs = 1 then explore_serial ~budget ~certs scenario
+  else explore_parallel ~budget ~certs ~jobs scenario

@@ -64,7 +64,8 @@ type result = {
   findings : Analysis.Finding.t list;  (** deduplicated, sorted *)
 }
 
-val explore : ?budget:budget -> ?certs:Certificate.t -> Scenario.t -> result
+val explore :
+  ?budget:budget -> ?certs:Certificate.t -> ?jobs:int -> Scenario.t -> result
 (** Enumerate schedules. Each distinct violation site is reported once,
     annotated with how many schedules exhibited it; with [certs], any
     dynamic violation whose coroutine provenance maps into a
@@ -76,7 +77,21 @@ val explore : ?budget:budget -> ?certs:Certificate.t -> Scenario.t -> result
     files held {!Certificate.independent} that both mutate one probed
     cell raise [certificate-mismatch] (the DPOR feed claimed a false
     independence). Without [certs] the feed is off: pruning falls back
-    to the pure node heuristic. *)
+    to the pure node heuristic.
+
+    [jobs > 1] explores the frontier on that many OCaml 5 domains with
+    work-stealing deques of schedule prefixes; every run already builds
+    its own engine/scheduler/sanitizer, and each worker keeps its own
+    accumulators and independence memo, merged deterministically at
+    join. Because the frontier reachable from the root is one fixed
+    tree and every aggregate is order-independent (sums, maxima, keyed
+    unions, canonical "first" ranks over the explored-prefix set),
+    parallel and serial runs report identical schedule totals and
+    identical findings on every frontier-complete scenario. Scenarios
+    that declare [par_safe = false], or whose modules carry an
+    unsafe-shared-state verdict in [certs], are forced back to one
+    domain — the static domains pass is what certifies the parallelism
+    safe. *)
 
 (**/**)
 

@@ -46,6 +46,7 @@ let yield_storm =
        default budget — intentionally a truncation workout *)
     gating = true;
     modules = [ reg_file ];
+    par_safe = true;
     default_schedules = 7000;
     allow = allow_none;
     provenance = core_provenance;
@@ -77,6 +78,7 @@ let mutex_handoff =
     exhaustive = true;
     gating = true;
     modules = [ reg_file; "lib/core/mutex.ml" ];
+    par_safe = true;
     default_schedules = 2500;
     allow = allow_none;
     provenance = core_provenance;
@@ -117,6 +119,7 @@ let condvar_handshake =
     exhaustive = true;
     gating = true;
     modules = [ reg_file; "lib/core/condvar.ml"; "lib/core/mutex.ml" ];
+    par_safe = true;
     default_schedules = 2500;
     allow = allow_none;
     provenance = core_provenance;
@@ -165,6 +168,7 @@ let signal_fanout =
     exhaustive = true;
     gating = true;
     modules = [ reg_file; "lib/core/sched.ml" ];
+    par_safe = true;
     default_schedules = 1000;
     allow = allow_none;
     provenance = core_provenance;
@@ -206,6 +210,7 @@ let quorum_majority =
     exhaustive = true;
     gating = true;
     modules = [ reg_file; "lib/core/event.ml" ];
+    par_safe = true;
     default_schedules = 2500;
     allow = allow_none;
     provenance = core_provenance;
@@ -250,6 +255,7 @@ let broken_quorum =
     (* a known-bad fixture: explored on demand and by the test suite, but
        not part of the CI gate *)
     modules = [ fixtures_file ];
+    par_safe = true;
     default_schedules = 1000;
     allow = allow_none;
     provenance = core_provenance;
@@ -271,6 +277,7 @@ let leaky_backlog =
     (* a known-bad fixture for the queue-depth gauge sanitizer: explored
        on demand and by the test suite, not part of the CI gate *)
     modules = [ fixtures_file ];
+    par_safe = false;
     default_schedules = 200;
     allow = allow_none;
     provenance = core_provenance;
@@ -293,6 +300,7 @@ let domains_disjoint =
     exhaustive = true;
     gating = true;
     modules = [ fixture_dom_a_file; fixture_dom_b_file ];
+    par_safe = false;
     default_schedules = 400;
     allow = allow_none;
     provenance = dom_provenance;
@@ -332,6 +340,7 @@ let domains_false_independence =
     (* a known-bad fixture for the independence cross-check: explored on
        demand and by the test suite, not part of the CI gate *)
     modules = [ fixture_dom_a_file; fixture_dom_b_file ];
+    par_safe = false;
     default_schedules = 200;
     allow = allow_none;
     provenance = dom_provenance;
@@ -418,6 +427,7 @@ let raft_elect ~n ~name ~schedules ~until_ms =
     exhaustive = false;
     gating = true;
     modules = [ "lib/raft/server.ml"; "lib/cluster/rpc.ml" ];
+    par_safe = true;
     default_schedules = schedules;
     allow = raft_allow ~n;
     provenance = raft_provenance;
@@ -439,6 +449,7 @@ let raft_replicate_3 =
     exhaustive = false;
     gating = true;
     modules = [ "lib/raft/server.ml"; "lib/raft/client.ml"; "lib/cluster/rpc.ml" ];
+    par_safe = true;
     default_schedules = 500;
     allow = raft_allow ~n:3;
     provenance = raft_provenance;
@@ -459,6 +470,7 @@ let raft_partition_heal_3 =
     exhaustive = false;
     gating = true;
     modules = [ "lib/raft/server.ml"; "lib/cluster/rpc.ml"; "lib/cluster/net.ml" ];
+    par_safe = true;
     default_schedules = 300;
     allow = raft_allow ~n:3;
     provenance = raft_provenance;
@@ -485,6 +497,7 @@ let raft_rewind_3 =
     exhaustive = false;
     gating = true;
     modules = [ "lib/raft/server.ml"; "lib/raft/client.ml"; "lib/cluster/rpc.ml" ];
+    par_safe = true;
     default_schedules = 300;
     allow = raft_allow ~n:3;
     provenance = raft_provenance;
@@ -518,6 +531,7 @@ let raft_slow_disk_admission_3 =
     exhaustive = false;
     gating = true;
     modules = [ "lib/raft/server.ml"; "lib/raft/client.ml"; "lib/cluster/rpc.ml" ];
+    par_safe = true;
     default_schedules = 150;
     allow = raft_allow ~n:3;
     provenance = raft_provenance;

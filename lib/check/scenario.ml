@@ -21,6 +21,10 @@ type t = {
       (* small enough that the default budget fully enumerates it *)
   gating : bool;  (* part of the default registry run (CI) *)
   modules : string list;  (* source files exercised — certificate domain *)
+  par_safe : bool;
+      (* every run touches only state [make] built: safe to execute runs
+         concurrently on separate domains. Scenarios seeded through
+         process-global fixture cells must say false *)
   default_schedules : int;  (* per-scenario schedule budget in `all` runs *)
   allow : node:int -> bool;  (* Spg.audit exemption (clients) *)
   provenance : string -> string option;

@@ -1,0 +1,241 @@
+(* Per-domain Raft shards: the scale-out counterpart of [Sharded], which
+   multiplexes every shard group onto one scheduler. Here each shard owns
+   a full engine/scheduler/group/client stack, shards are statically
+   partitioned over a pool of OCaml 5 domains, and the simulation
+   advances in fixed virtual-time quanta separated by barriers.
+
+   Cross-shard traffic never touches another shard's engine directly:
+   during a quantum a client whose key routes elsewhere appends the
+   request to its shard's outbox (shard-local state). At the barrier one
+   domain — whichever trips the barrier — folds every outbox into the
+   destination inboxes in (send time, source shard, sequence) order, and
+   each owning domain replays its inbox at the start of the next quantum.
+   The merged order is a pure function of the outbox contents, and each
+   shard's evolution is a pure function of its seed and its inbox
+   sequence, so by induction over quanta the whole run is deterministic
+   in the domain count: jobs=1 and jobs=N produce identical per-shard
+   stats. Barrier waits (Mutex/Condition under the hood) give the
+   happens-before edges that make the cross-domain queue handoff safe. *)
+
+type xmsg = {
+  x_time : Sim.Time.t;  (* virtual send time on the source shard *)
+  x_src : int;
+  x_seq : int;  (* per-source counter; ties on x_time sort by (src, seq) *)
+  x_dst : int;
+  x_key : string;
+  x_value : string;
+}
+
+type stats = {
+  st_shard : int;
+  st_ops : int;  (* committed puts, local and ingress *)
+  st_failed : int;
+  st_shed : int;
+  st_cross_out : int;  (* requests routed away from this shard *)
+  st_cross_in : int;  (* requests replayed from the inbox *)
+  st_latency : Sim.Hist.t;  (* local put latency, virtual µs *)
+  st_time : Sim.Time.t;  (* shard clock at the end of the run *)
+}
+
+type report = {
+  r_shards : stats array;  (* indexed by shard id *)
+  r_virtual : Sim.Time.span;  (* measured virtual duration (the quanta) *)
+}
+
+type shard = {
+  sh_id : int;
+  sh_sched : Depfast.Sched.t;
+  sh_clients : Client.t list;
+  sh_ingress : Client.t;
+  sh_outbox : xmsg Queue.t;  (* filled locally, drained at the barrier *)
+  sh_inbox : xmsg Queue.t;  (* filled at the barrier, drained locally *)
+  mutable sh_seq : int;
+  mutable sh_ops : int;
+  mutable sh_failed : int;
+  mutable sh_shed : int;
+  mutable sh_cross_out : int;
+  mutable sh_cross_in : int;
+  sh_latency : Sim.Hist.t;
+}
+
+let default_cfg =
+  {
+    Config.default with
+    Config.enable_hiccups = false;
+    election_timeout_min = Sim.Time.ms 80;
+    election_timeout_max = Sim.Time.ms 160;
+    heartbeat_interval = Sim.Time.ms 20;
+    rpc_timeout = Sim.Time.ms 100;
+    client_timeout = Sim.Time.ms 300;
+  }
+
+let count_outcome sh = function
+  | Client.Committed _ -> sh.sh_ops <- sh.sh_ops + 1
+  | Client.Shed -> sh.sh_shed <- sh.sh_shed + 1
+  | Client.Failed -> sh.sh_failed <- sh.sh_failed + 1
+
+let make_shard ~cfg ~replicas ~clients ~seed id =
+  let engine = Sim.Engine.create ~seed:(Int64.of_int (seed + (id * 9973))) () in
+  let sched = Depfast.Sched.create engine in
+  let g =
+    Group.create sched ~n:replicas ~cfg ~first_node_id:(id * (replicas + clients + 8)) ()
+  in
+  match Group.make_clients g ~count:(clients + 1) () with
+  | [] -> assert false
+  | ingress :: rest ->
+    Depfast.Sched.spawn sched ~node:(id * (replicas + clients + 8))
+      ~name:"sp.bootstrap"
+      (fun () -> Group.elect g (id * (replicas + clients + 8)));
+    {
+      sh_id = id;
+      sh_sched = sched;
+      sh_clients = rest;
+      sh_ingress = ingress;
+      sh_outbox = Queue.create ();
+      sh_inbox = Queue.create ();
+      sh_seq = 0;
+      sh_ops = 0;
+      sh_failed = 0;
+      sh_shed = 0;
+      sh_cross_out = 0;
+      sh_cross_in = 0;
+      sh_latency = Sim.Hist.create ();
+    }
+
+(* Closed-loop per-shard load: each client coroutine puts into its own
+   shard, except that with probability [cross_permille]/1000 the key is
+   deemed owned elsewhere and the request is deposited in the outbox
+   instead (fire-and-forget: delivery lands at the next barrier). *)
+let spawn_load sh ~shards ~cross_permille ~seed =
+  List.iteri
+    (fun ci c ->
+      let rng =
+        Sim.Rng.create
+          (Int64.of_int ((seed * 1_000_003) + (sh.sh_id * 131) + ci))
+      in
+      Cluster.Node.spawn (Client.node c)
+        ~name:(Printf.sprintf "sp.load%d" ci)
+        (fun () ->
+          while true do
+            let key = Printf.sprintf "k%d" (Sim.Rng.int rng 64) in
+            if shards > 1 && Sim.Rng.int rng 1000 < cross_permille then begin
+              let d = Sim.Rng.int rng (shards - 1) in
+              let dst = if d >= sh.sh_id then d + 1 else d in
+              sh.sh_seq <- sh.sh_seq + 1;
+              Queue.push
+                {
+                  x_time = Depfast.Sched.now sh.sh_sched;
+                  x_src = sh.sh_id;
+                  x_seq = sh.sh_seq;
+                  x_dst = dst;
+                  x_key = key;
+                  x_value = Printf.sprintf "s%d.%d" sh.sh_id sh.sh_seq;
+                }
+                sh.sh_outbox;
+              sh.sh_cross_out <- sh.sh_cross_out + 1;
+              (* the send is async: pace the loop so one client cannot
+                 flood the outbox inside a single quantum *)
+              Depfast.Sched.sleep sh.sh_sched (Sim.Time.ms 2)
+            end
+            else begin
+              let t0 = Depfast.Sched.now sh.sh_sched in
+              let outcome =
+                Client.submit c (Types.Put { key; value = "v" ^ key })
+              in
+              count_outcome sh outcome;
+              Sim.Hist.add sh.sh_latency
+                (Sim.Time.diff (Depfast.Sched.now sh.sh_sched) t0)
+            end
+          done))
+    sh.sh_clients
+
+(* Fold every outbox into the destination inboxes, ordered by
+   (send time, source shard, sequence): a pure function of the outbox
+   contents, independent of domain count or barrier arrival order. *)
+let merge_crossings pool =
+  let all = ref [] in
+  Array.iter
+    (fun sh ->
+      Queue.iter (fun m -> all := m :: !all) sh.sh_outbox;
+      Queue.clear sh.sh_outbox)
+    pool;
+  List.iter
+    (fun m -> Queue.push m pool.(m.x_dst).sh_inbox)
+    (List.sort
+       (fun a b -> compare (a.x_time, a.x_src, a.x_seq) (b.x_time, b.x_src, b.x_seq))
+       !all)
+
+(* Replay the inbox through the shard's ingress client, in merge order:
+   one spawned coroutine per request, created before the quantum runs so
+   the engine sequences them deterministically. *)
+let drain_inbox sh =
+  while not (Queue.is_empty sh.sh_inbox) do
+    let m = Queue.pop sh.sh_inbox in
+    sh.sh_cross_in <- sh.sh_cross_in + 1;
+    Cluster.Node.spawn (Client.node sh.sh_ingress)
+      ~name:(Printf.sprintf "sp.ingress%d.%d" m.x_src m.x_seq)
+      (fun () ->
+        count_outcome sh
+          (Client.submit sh.sh_ingress (Types.Put { key = m.x_key; value = m.x_value })))
+  done
+
+let stats_of sh =
+  {
+    st_shard = sh.sh_id;
+    st_ops = sh.sh_ops;
+    st_failed = sh.sh_failed;
+    st_shed = sh.sh_shed;
+    st_cross_out = sh.sh_cross_out;
+    st_cross_in = sh.sh_cross_in;
+    st_latency = sh.sh_latency;
+    st_time = Depfast.Sched.now sh.sh_sched;
+  }
+
+let run ?(shards = 4) ?(jobs = 1) ?(replicas = 3) ?(cfg = default_cfg)
+    ?(quantum = Sim.Time.ms 50) ?(quanta = 20) ?(clients = 4)
+    ?(cross_permille = 100) ?(seed = 1) () =
+  let jobs = max 1 (min jobs shards) in
+  let boot = Sim.Time.ms 300 in
+  let barrier = Sim.Dpool.Barrier.create jobs in
+  let pool : shard option array = Array.make shards None in
+  let owned d = List.init shards Fun.id |> List.filter (fun i -> i mod jobs = d) in
+  let worker d =
+    let mine = owned d in
+    (* build and bootstrap each owned shard on its owning domain, so
+       every engine-owned record is domain-local by construction *)
+    List.iter
+      (fun id ->
+        let sh = make_shard ~cfg ~replicas ~clients ~seed id in
+        Depfast.Sched.run ~until:(Sim.Time.add Sim.Time.zero boot) sh.sh_sched;
+        spawn_load sh ~shards ~cross_permille ~seed;
+        pool.(id) <- Some sh)
+      mine;
+    let mine = List.map (fun id -> Option.get pool.(id)) mine in
+    ignore (Sim.Dpool.Barrier.wait barrier);
+    for q = 1 to quanta do
+      let t_end = Sim.Time.add Sim.Time.zero (boot + (quantum * q)) in
+      List.iter
+        (fun sh ->
+          drain_inbox sh;
+          Depfast.Sched.run ~until:t_end sh.sh_sched)
+        mine;
+      (* first barrier: every shard reached t_end, outboxes are final;
+         the tripping domain merges while the others hold at the second *)
+      if Sim.Dpool.Barrier.wait barrier then
+        merge_crossings (Array.map (fun s -> Option.get s) pool);
+      ignore (Sim.Dpool.Barrier.wait barrier)
+    done;
+    List.map stats_of mine
+  in
+  let per_domain = Sim.Dpool.scatter ~jobs worker in
+  let all = Array.to_list per_domain |> List.concat in
+  let by_id = List.sort (fun a b -> compare a.st_shard b.st_shard) all in
+  { r_shards = Array.of_list by_id; r_virtual = quantum * quanta }
+
+let total_ops r = Array.fold_left (fun a s -> a + s.st_ops) 0 r.r_shards
+let total_cross r = Array.fold_left (fun a s -> a + s.st_cross_in) 0 r.r_shards
+
+let merged_latency r =
+  Array.fold_left
+    (fun acc s -> Sim.Hist.merge acc s.st_latency)
+    (Sim.Hist.create ()) r.r_shards

@@ -1,0 +1,62 @@
+(** Per-domain Raft shards: independent shard groups on separate OCaml 5
+    domains with a deterministic cross-shard message merge at barrier
+    points.
+
+    Each shard owns a full engine/scheduler/group/client stack, built on
+    its owning domain. The simulation advances in fixed virtual-time
+    quanta: every domain runs its shards to the quantum boundary, all
+    meet at a barrier, one domain folds every shard's outbox of
+    cross-shard requests into the destination inboxes in
+    (send time, source shard, sequence) order, and the owners replay
+    their inboxes at the start of the next quantum. Because the merged
+    order is a pure function of outbox contents and each shard evolves
+    deterministically from its seed and inbox sequence, the run is
+    deterministic in the domain count: [jobs = 1] and [jobs = N] report
+    identical per-shard stats. *)
+
+type stats = {
+  st_shard : int;
+  st_ops : int;  (** committed puts, local and ingress *)
+  st_failed : int;
+  st_shed : int;
+  st_cross_out : int;  (** requests routed away from this shard *)
+  st_cross_in : int;  (** requests replayed from the inbox *)
+  st_latency : Sim.Hist.t;  (** local put latency, virtual µs *)
+  st_time : Sim.Time.t;  (** shard clock at the end of the run *)
+}
+
+type report = {
+  r_shards : stats array;  (** indexed by shard id *)
+  r_virtual : Sim.Time.span;  (** measured virtual duration (the quanta) *)
+}
+
+val default_cfg : Config.t
+(** The checker's fast Raft timing (hiccups off, 80–160 ms elections). *)
+
+val run :
+  ?shards:int ->
+  ?jobs:int ->
+  ?replicas:int ->
+  ?cfg:Config.t ->
+  ?quantum:Sim.Time.span ->
+  ?quanta:int ->
+  ?clients:int ->
+  ?cross_permille:int ->
+  ?seed:int ->
+  unit ->
+  report
+(** Run [shards] (default 4) shard groups of [replicas] (default 3) on
+    [jobs] domains (default 1, clamped to [shards]), each under
+    [clients] (default 4) closed-loop writers, for [quanta] (default
+    20) quanta of [quantum] (default 50 ms) virtual time after a 300 ms
+    election bootstrap. A put routes cross-shard with probability
+    [cross_permille]/1000 (default 100); such requests are
+    fire-and-forget and land at the next barrier. Deterministic in
+    [jobs] for a fixed [seed]. *)
+
+val total_ops : report -> int
+val total_cross : report -> int
+
+val merged_latency : report -> Sim.Hist.t
+(** Cross-domain histogram aggregation: exact bucket-wise {!Sim.Hist.merge}
+    fold of every shard's latency histogram. *)

@@ -1,0 +1,95 @@
+(* Chase–Lev work-stealing deque on OCaml 5 atomics. One owner domain
+   pushes and pops at the bottom; any number of thief domains steal from
+   the top. Indices are monotonic logical positions (never wrapped back),
+   which sidesteps ABA: a CAS on [top] succeeds only while position [t]
+   is still unconsumed, and the owner cannot overwrite position [t]'s
+   physical slot before growing (push grows once bottom - top reaches the
+   capacity). Growth copies the live window into a fresh slot array and
+   publishes it through the atomic buffer holder; thieves that read the
+   old array still see correct values because old slots are never reused
+   after a copy. Slots are themselves atomics so a thief's pre-CAS read
+   of the element is well-defined under the OCaml memory model. *)
+
+type 'a t = {
+  top : int Atomic.t;  (* next position to steal *)
+  bottom : int Atomic.t;  (* next position to push *)
+  buf : 'a option Atomic.t array Atomic.t;  (* power-of-two slot array *)
+}
+
+type 'a steal = Stolen of 'a | Empty | Retry
+
+let min_capacity = 16
+
+let create ?(capacity = min_capacity) () =
+  let cap = ref min_capacity in
+  while !cap < capacity do
+    cap := !cap * 2
+  done;
+  {
+    top = Atomic.make 0;
+    bottom = Atomic.make 0;
+    buf = Atomic.make (Array.init !cap (fun _ -> Atomic.make None));
+  }
+
+let size q = max 0 (Atomic.get q.bottom - Atomic.get q.top)
+let is_empty q = size q = 0
+
+(* double the slot array, copying live positions [t, b); only the owner
+   grows, so a plain copy then a single publish of the holder is enough *)
+let grow q t b old =
+  let n = Array.length old in
+  let fresh = Array.init (2 * n) (fun _ -> Atomic.make None) in
+  for i = t to b - 1 do
+    Atomic.set fresh.(i land ((2 * n) - 1)) (Atomic.get old.(i land (n - 1)))
+  done;
+  Atomic.set q.buf fresh;
+  fresh
+
+let push q x =
+  let b = Atomic.get q.bottom in
+  let t = Atomic.get q.top in
+  let a = Atomic.get q.buf in
+  let a = if b - t >= Array.length a then grow q t b a else a in
+  Atomic.set a.(b land (Array.length a - 1)) (Some x);
+  Atomic.set q.bottom (b + 1)
+
+let pop q =
+  let b = Atomic.get q.bottom - 1 in
+  Atomic.set q.bottom b;
+  let t = Atomic.get q.top in
+  if b < t then begin
+    (* already empty: undo the reservation *)
+    Atomic.set q.bottom t;
+    None
+  end
+  else begin
+    let a = Atomic.get q.buf in
+    let slot = a.(b land (Array.length a - 1)) in
+    let x = Atomic.get slot in
+    if b > t then begin
+      Atomic.set slot None;
+      x
+    end
+    else begin
+      (* last element: race thieves for it by advancing top *)
+      let won = Atomic.compare_and_set q.top t (t + 1) in
+      Atomic.set q.bottom (t + 1);
+      if won then begin
+        Atomic.set slot None;
+        x
+      end
+      else None
+    end
+  end
+
+let steal q =
+  let t = Atomic.get q.top in
+  let b = Atomic.get q.bottom in
+  if t >= b then Empty
+  else begin
+    let a = Atomic.get q.buf in
+    let slot = a.(t land (Array.length a - 1)) in
+    match Atomic.get slot with
+    | None -> Retry  (* the owner raced us on this position *)
+    | Some v -> if Atomic.compare_and_set q.top t (t + 1) then Stolen v else Retry
+  end

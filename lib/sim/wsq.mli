@@ -1,0 +1,36 @@
+(** Chase–Lev work-stealing deque over OCaml 5 domains.
+
+    Single-owner, multi-thief: exactly one domain may call {!push} and
+    {!pop} (the bottom end); any number of other domains may call
+    {!steal} (the top end). Logical positions are monotonic so the
+    [top] CAS is ABA-free, and the slot array grows by copy when full —
+    a deque never rejects a push. All coordination is lock-free. *)
+
+type 'a t
+
+type 'a steal =
+  | Stolen of 'a  (** an element was taken from the top *)
+  | Empty  (** the deque was observed empty *)
+  | Retry  (** lost a race with the owner or another thief; try again *)
+
+val create : ?capacity:int -> unit -> 'a t
+(** [create ()] makes an empty deque. [capacity] (default 16) is rounded
+    up to a power of two and is only the initial slot-array size. *)
+
+val push : 'a t -> 'a -> unit
+(** Owner only: append at the bottom, growing the slot array if full. *)
+
+val pop : 'a t -> 'a option
+(** Owner only: take the most recently pushed element (LIFO for the
+    owner, preserving DFS order locally), or [None] when empty. *)
+
+val steal : 'a t -> 'a steal
+(** Any thief domain: take the oldest element (FIFO from the top).
+    [Retry] means a benign race, not emptiness — callers typically scan
+    other deques and come back. *)
+
+val size : 'a t -> int
+(** Snapshot of the element count; approximate under concurrency. *)
+
+val is_empty : 'a t -> bool
+(** [size q = 0] at snapshot time; approximate under concurrency. *)

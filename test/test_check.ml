@@ -194,6 +194,53 @@ let test_flagged_file_is_not_clean () =
     (Check.Certificate.clean certs "lib/raft/server.ml")
 
 (* ------------------------------------------------------------------ *)
+(* multicore: the work-stealing parallel explorer must report exactly
+   what the serial explorer reports — same schedule and prune totals,
+   same findings in the same order — at every domain count, certificates
+   included (ISSUE 9 tentpole contract) *)
+
+let tree_certs =
+  lazy
+    (match List.find_opt Sys.file_exists [ "../lib"; "lib" ] with
+    | None -> None (* sources not materialized in this sandbox *)
+    | Some root -> Some (Check.Certificate.build ~roots:[ root ] ()))
+
+let check_parallel_matches_serial ?(schedules = 300) name () =
+  let sc = scenario name in
+  let certs = Lazy.force tree_certs in
+  let b = budget ~schedules () in
+  let serial = E.explore ~budget:b ?certs sc in
+  let show r = List.map F.to_string r.E.findings in
+  List.iter
+    (fun jobs ->
+      let par = E.explore ~budget:b ?certs ~jobs sc in
+      check_int (Printf.sprintf "%s jobs=%d: schedule count" name jobs)
+        serial.E.schedules par.E.schedules;
+      (* under a budget cap the two traversals claim different subsets of
+         the frontier, so the prune tally is only pinned when the tree
+         was exhausted — the schedule total and findings are pinned
+         either way *)
+      if serial.E.complete then
+        check_int (Printf.sprintf "%s jobs=%d: pruned count" name jobs) serial.E.pruned
+          par.E.pruned;
+      check_bool (Printf.sprintf "%s jobs=%d: completeness" name jobs) serial.E.complete
+        par.E.complete;
+      Alcotest.(check (list string))
+        (Printf.sprintf "%s jobs=%d: findings" name jobs)
+        (show serial) (show par))
+    [ 1; 2; 4 ]
+
+let test_par_serial_broken_quorum = check_parallel_matches_serial "broken-quorum"
+
+let test_par_serial_domains_disjoint =
+  (* par_safe = false in the registry: every jobs value must be forced
+     back to one domain and still agree with the serial run *)
+  check_parallel_matches_serial "domains-disjoint"
+
+let test_par_serial_slow_disk =
+  check_parallel_matches_serial ~schedules:60 "raft-slow-disk-admission-3"
+
+(* ------------------------------------------------------------------ *)
 (* satellite: report order must not depend on source discovery order *)
 
 let test_report_order_shuffle_invariant () =
@@ -264,6 +311,15 @@ let suite =
         Alcotest.test_case "mismatch on broken fixture" `Quick
           test_certificate_mismatch_on_broken_fixture;
         Alcotest.test_case "flagged file not clean" `Quick test_flagged_file_is_not_clean;
+      ] );
+    ( "check.multicore",
+      [
+        Alcotest.test_case "parallel == serial: broken-quorum" `Quick
+          test_par_serial_broken_quorum;
+        Alcotest.test_case "parallel == serial: domains-disjoint" `Quick
+          test_par_serial_domains_disjoint;
+        Alcotest.test_case "parallel == serial: slow-disk admission" `Quick
+          test_par_serial_slow_disk;
       ] );
     ( "check.ordering",
       [

@@ -1,0 +1,248 @@
+(* Tests for the multicore scale-out layer (ISSUE 9): the Chase–Lev
+   work-stealing deque (sequential contracts plus real steal/push/pop
+   races across domains), the domain-pool plumbing, exact histogram and
+   metrics merging, and the per-domain Raft shard pool's determinism in
+   the domain count. *)
+
+module W = Sim.Wsq
+module P = Sim.Dpool
+
+let check_bool = Alcotest.(check bool)
+let check_int = Alcotest.(check int)
+
+(* ------------------------------------------------------------------ *)
+(* deque, owner side: LIFO pops, growth past the initial capacity *)
+
+let test_wsq_lifo () =
+  let q = W.create () in
+  check_bool "fresh deque empty" true (W.is_empty q);
+  check_int "fresh deque size" 0 (W.size q);
+  for i = 1 to 5 do
+    W.push q i
+  done;
+  check_int "five queued" 5 (W.size q);
+  Alcotest.(check (list (option int)))
+    "owner pops newest first, then None"
+    [ Some 5; Some 4; Some 3; Some 2; Some 1; None ]
+    (List.init 6 (fun _ -> W.pop q));
+  check_bool "drained" true (W.is_empty q)
+
+let test_wsq_growth () =
+  let q = W.create ~capacity:2 () in
+  let n = 1000 in
+  for i = 1 to n do
+    W.push q i
+  done;
+  check_int "all retained across grows" n (W.size q);
+  let sum = ref 0 in
+  let rec drain () =
+    match W.pop q with
+    | Some v ->
+      sum := !sum + v;
+      drain ()
+    | None -> ()
+  in
+  drain ();
+  check_int "every element intact" (n * (n + 1) / 2) !sum
+
+(* thief side, no concurrency: steals take the oldest element *)
+
+let test_wsq_steal_fifo () =
+  let q = W.create () in
+  List.iter (W.push q) [ 1; 2; 3 ];
+  (match W.steal q with
+  | W.Stolen v -> check_int "thief takes the oldest" 1 v
+  | W.Empty | W.Retry -> Alcotest.fail "steal from a 3-element deque failed");
+  Alcotest.(check (option int)) "owner still pops the newest" (Some 3) (W.pop q);
+  (match W.steal q with
+  | W.Stolen v -> check_int "next oldest" 2 v
+  | W.Empty | W.Retry -> Alcotest.fail "steal from a 1-element deque failed");
+  check_bool "steal on empty reports Empty" true
+    (match W.steal q with W.Empty -> true | W.Stolen _ | W.Retry -> false)
+
+(* the race the structure exists for: one owner pushing and popping,
+   several thieves stealing concurrently on real domains. Every element
+   must be consumed exactly once — no loss, no duplication. *)
+
+let test_wsq_domain_race () =
+  let q = W.create ~capacity:4 () in
+  let n = 20_000 in
+  let thieves = 3 in
+  let stolen = Array.init thieves (fun _ -> Atomic.make 0) in
+  let done_ = Atomic.make false in
+  let thief k =
+    Domain.spawn (fun () ->
+        let rec loop () =
+          match W.steal q with
+          | W.Stolen v ->
+            Atomic.set stolen.(k) (Atomic.get stolen.(k) + v);
+            loop ()
+          | W.Retry -> loop ()
+          | W.Empty -> if not (Atomic.get done_) then loop ()
+        in
+        loop ())
+  in
+  let ds = List.init thieves thief in
+  (* owner: interleave pushes with occasional pops, then drain *)
+  let popped = ref 0 in
+  for i = 1 to n do
+    W.push q i;
+    if i mod 7 = 0 then
+      match W.pop q with Some v -> popped := !popped + v | None -> ()
+  done;
+  let rec drain () =
+    match W.pop q with
+    | Some v ->
+      popped := !popped + v;
+      drain ()
+    | None -> ()
+  in
+  drain ();
+  Atomic.set done_ true;
+  List.iter Domain.join ds;
+  (* the owner can race one final steal: drain anything left behind *)
+  drain ();
+  let total =
+    Array.fold_left (fun a c -> a + Atomic.get c) !popped stolen
+  in
+  check_int "every element consumed exactly once" (n * (n + 1) / 2) total;
+  check_bool "deque empty at quiescence" true (W.is_empty q)
+
+(* ------------------------------------------------------------------ *)
+(* domain pool: scatter/join indexing, error propagation, the gate *)
+
+let test_scatter_indexes () =
+  let r = P.scatter ~jobs:4 (fun i -> i * i) in
+  Alcotest.(check (list int)) "slice i computes f i" [ 0; 1; 4; 9 ] (Array.to_list r)
+
+let test_scatter_reraises () =
+  check_bool "lowest-indexed slice exception wins" true
+    (try
+       ignore (P.scatter ~jobs:3 (fun i -> if i >= 1 then failwith (string_of_int i)));
+       false
+     with Failure s -> s = "1")
+
+let test_recommended_jobs_env () =
+  check_bool "at least one worker" true (P.recommended_jobs () >= 1);
+  check_bool "cap respected" true (P.recommended_jobs ~cap:2 () <= 2)
+
+let test_gate_epoch () =
+  let g = P.Gate.create () in
+  let e = P.Gate.epoch g in
+  P.Gate.wake_all g;
+  check_bool "wake bumps the epoch" true (P.Gate.epoch g > e);
+  (* a wake between reading the epoch and awaiting it must not block *)
+  P.Gate.await g ~seen:e
+
+(* ------------------------------------------------------------------ *)
+(* satellite: Hist.merge is exact — merging histograms equals recording
+   the concatenated samples (bucket-wise, so every quantile agrees) *)
+
+let hist_of samples =
+  let h = Sim.Hist.create () in
+  List.iter (Sim.Hist.add h) samples;
+  h
+
+let test_hist_merge_concat =
+  QCheck.Test.make ~count:200 ~name:"Hist.merge == concat"
+    QCheck.(pair (list (int_bound 2_000_000)) (list (int_bound 2_000_000)))
+    (fun (xs, ys) ->
+      let merged = Sim.Hist.merge (hist_of xs) (hist_of ys) in
+      let concat = hist_of (xs @ ys) in
+      Sim.Hist.count merged = Sim.Hist.count concat
+      && Sim.Hist.min_value merged = Sim.Hist.min_value concat
+      && Sim.Hist.max_value merged = Sim.Hist.max_value concat
+      && Sim.Hist.mean merged = Sim.Hist.mean concat
+      && List.for_all
+           (fun q -> Sim.Hist.quantile merged q = Sim.Hist.quantile concat q)
+           [ 0.0; 0.5; 0.9; 0.99; 1.0 ])
+
+let test_metrics_merge () =
+  let mk ~completed ~failed ~shed ~util ~fsyncs ~lat ~dur =
+    {
+      Workload.Metrics.duration = dur;
+      completed;
+      failed;
+      shed;
+      latency = hist_of lat;
+      leader_utilization = util;
+      leader_crashed = false;
+      leader_fsyncs = fsyncs;
+    }
+  in
+  let a =
+    mk ~completed:300 ~failed:2 ~shed:1 ~util:0.9 ~fsyncs:60
+      ~lat:[ 1000; 2000; 3000 ] ~dur:(Sim.Time.ms 500)
+  in
+  let b =
+    mk ~completed:100 ~failed:0 ~shed:3 ~util:0.1 ~fsyncs:40 ~lat:[ 9000 ]
+      ~dur:(Sim.Time.ms 400)
+  in
+  let m = Workload.Metrics.merge [ a; b ] in
+  check_int "ops sum" 400 m.Workload.Metrics.completed;
+  check_int "failures sum" 2 m.Workload.Metrics.failed;
+  check_int "sheds sum" 4 m.Workload.Metrics.shed;
+  check_int "fsyncs sum" 100 m.Workload.Metrics.leader_fsyncs;
+  check_int "window is the longest shard window (concurrent shards)"
+    (Sim.Time.ms 500) m.Workload.Metrics.duration;
+  check_int "latency histogram merged exactly" 4
+    (Sim.Hist.count m.Workload.Metrics.latency);
+  Alcotest.(check (float 1e-9)) "utilization weighted by completed ops" 0.7
+    m.Workload.Metrics.leader_utilization;
+  check_bool "empty merge is the zero report" true
+    ((Workload.Metrics.merge []).Workload.Metrics.completed = 0)
+
+(* ------------------------------------------------------------------ *)
+(* shard pool: per-shard stats are a pure function of the seed and the
+   merged cross-shard traffic — identical on one domain and on two *)
+
+let test_shardpool_deterministic_in_jobs () =
+  let run jobs =
+    Raft.Shardpool.run ~shards:2 ~jobs ~quanta:6 ~clients:2 ~seed:7 ()
+  in
+  let r1 = run 1 in
+  let r2 = run 2 in
+  let show r =
+    r.Raft.Shardpool.r_shards |> Array.to_list
+    |> List.map (fun (s : Raft.Shardpool.stats) ->
+           Printf.sprintf "sh%d ops=%d failed=%d shed=%d out=%d in=%d p99=%d n=%d t=%d"
+             s.Raft.Shardpool.st_shard s.Raft.Shardpool.st_ops
+             s.Raft.Shardpool.st_failed s.Raft.Shardpool.st_shed
+             s.Raft.Shardpool.st_cross_out s.Raft.Shardpool.st_cross_in
+             (Sim.Hist.p99 s.Raft.Shardpool.st_latency)
+             (Sim.Hist.count s.Raft.Shardpool.st_latency)
+             s.Raft.Shardpool.st_time)
+  in
+  check_bool "load actually ran" true (Raft.Shardpool.total_ops r1 > 0);
+  check_bool "cross-shard traffic actually crossed" true
+    (Raft.Shardpool.total_cross r1 > 0);
+  Alcotest.(check (list string)) "per-shard stats identical at jobs=1 and jobs=2"
+    (show r1) (show r2)
+
+let suite =
+  [
+    ( "multicore.wsq",
+      [
+        Alcotest.test_case "owner LIFO" `Quick test_wsq_lifo;
+        Alcotest.test_case "growth past capacity" `Quick test_wsq_growth;
+        Alcotest.test_case "thief FIFO" `Quick test_wsq_steal_fifo;
+        Alcotest.test_case "owner vs thieves on domains" `Quick test_wsq_domain_race;
+      ] );
+    ( "multicore.dpool",
+      [
+        Alcotest.test_case "scatter indexes slices" `Quick test_scatter_indexes;
+        Alcotest.test_case "scatter re-raises" `Quick test_scatter_reraises;
+        Alcotest.test_case "recommended jobs" `Quick test_recommended_jobs_env;
+        Alcotest.test_case "gate epoch" `Quick test_gate_epoch;
+      ] );
+    ( "multicore.merge",
+      [
+        QCheck_alcotest.to_alcotest test_hist_merge_concat;
+        Alcotest.test_case "metrics merge" `Quick test_metrics_merge;
+      ] );
+    ( "multicore.shardpool",
+      [
+        Alcotest.test_case "deterministic in jobs" `Quick
+          test_shardpool_deterministic_in_jobs;
+      ] );
+  ]
