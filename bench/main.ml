@@ -42,6 +42,8 @@ let bounds_stats : (int * float * int * int) option Atomic.t = Atomic.make None
 (* files, wall ms, findings, certificates *)
 let domains_stats : (int * float * int * int * int) option Atomic.t = Atomic.make None
 (* files, wall ms, findings, cells, unsafe *)
+let spg_stats : (int * float * int * int * int) option Atomic.t = Atomic.make None
+(* files, wall ms, findings, wait sites, propagation edges *)
 let nofeed_stats : (int * int) option Atomic.t = Atomic.make None
 (* schedules, pruned with the DPOR independence feed off *)
 let check_par_stats : (int * int * float) list Atomic.t = Atomic.make []
@@ -128,6 +130,36 @@ let run_domains_json () =
     Printf.printf
       "domains probe: %d file(s), %d finding(s), %d cell(s), %d unsafe in %.1f ms\n%!"
       (List.length files) (List.length fs) (List.length certs) unsafe ms
+
+(* slowness-propagation probe: wall time of the depfast-spg pass (taint
+   seeding, callee->caller fixpoint, wait classification, certificate
+   emission) over the library sources — its exposure map feeds the
+   explorer's SPG cross-check, so it must stay build-cheap too *)
+let run_spg_json () =
+  match List.find_opt Sys.file_exists [ "../lib"; "lib" ] with
+  | None -> Printf.printf "spg probe: sources not available, skipped\n%!"
+  | Some root ->
+    let rec walk p acc =
+      if Sys.is_directory p then
+        Sys.readdir p |> Array.to_list |> List.sort compare
+        |> List.fold_left (fun acc e -> walk (Filename.concat p e) acc) acc
+      else if Filename.check_suffix p ".ml" && not (Filename.check_suffix p ".pp.ml") then
+        p :: acc
+      else acc
+    in
+    let files = List.rev (walk root []) in
+    let t0 = Unix.gettimeofday () in
+    let fs, certs, _exposures = Analysis.Spg_static.analyze_files files in
+    let ms = (Unix.gettimeofday () -. t0) *. 1000.0 in
+    let count k =
+      List.length (List.filter (fun c -> c.Analysis.Growth.c_kind = k) certs)
+    in
+    let waits = count "wait" and edges = count "propagation" in
+    Atomic.set spg_stats @@ Some (List.length files, ms, List.length fs, waits, edges);
+    Printf.printf
+      "spg probe: %d file(s), %d finding(s), %d wait site(s), %d propagation edge(s) in \
+       %.1f ms\n%!"
+      (List.length files) (List.length fs) waits edges ms
 
 (* trace overhead probe: the same DepFastRaft quick cell with the wait-trace
    ring disabled and enabled; tracing must cost well under 10% throughput *)
@@ -336,6 +368,7 @@ let run_experiment ~json quick = function
   | "lint" -> run_lint_json ()
   | "bounds" -> run_bounds_json ()
   | "domains" -> run_domains_json ()
+  | "spg" -> run_spg_json ()
   | "macro" -> run_macro_json quick
   | "check" -> run_check_json ()
   | "check_par" -> run_check_par_json ()
@@ -343,14 +376,14 @@ let run_experiment ~json quick = function
   | other ->
     Printf.eprintf
       "unknown experiment %S (expected \
-       table1|fig1|fig2|fig3|ablation|mitigation|micro|lint|bounds|domains|macro|check|check_par|shard)\n"
+       table1|fig1|fig2|fig3|ablation|mitigation|micro|lint|bounds|domains|spg|macro|check|check_par|shard)\n"
       other;
     exit 2
 
 let all =
   [
     "table1"; "fig1"; "fig2"; "fig3"; "ablation"; "mitigation"; "micro"; "lint";
-    "bounds"; "domains"; "macro"; "check"; "check_par"; "shard";
+    "bounds"; "domains"; "spg"; "macro"; "check"; "check_par"; "shard";
   ]
 
 (* hand-rolled JSON: two flat sections, no escaping needed beyond labels
@@ -411,6 +444,14 @@ let write_json path =
          ",\n  \"domains\": {\"files\": %d, \"wall_ms\": %.2f, \"findings\": %d, \
           \"cells\": %d, \"unsafe\": %d}"
          files ms findings cells unsafe)
+  | None -> ());
+  (match (Atomic.get spg_stats) with
+  | Some (files, ms, findings, waits, edges) ->
+    Buffer.add_string buf
+      (Printf.sprintf
+         ",\n  \"spg\": {\"files\": %d, \"wall_ms\": %.2f, \"findings\": %d, \
+          \"wait_sites\": %d, \"edges\": %d}"
+         files ms findings waits edges)
   | None -> ());
   (match (Atomic.get check_stats) with
   | Some (schedules, pruned, ms, findings) ->

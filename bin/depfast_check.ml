@@ -204,8 +204,10 @@ let () =
       (List.length gating) wall_ms o.jobs
       (match certs with
       | Some c ->
-        Printf.sprintf " [certs: %d files, %d flagged]" (Check.Certificate.covered_count c)
+        Printf.sprintf " [certs: %d files, %d flagged, %d spg exposures]"
+          (Check.Certificate.covered_count c)
           (List.length (Check.Certificate.flagged_files c))
+          (Check.Certificate.exposure_count c)
       | None -> "")
   | `Json ->
     Printf.printf "{ \"scenarios\": %d, \"schedules\": %d, \"pruned\": %d, \

@@ -8,7 +8,10 @@
    (unbounded-growth, missing-deadline, unbounded-retry) plus its
    boundedness certificates, and — with [--domains] — the domain-safety
    pass (the mutable-state inventory, ownership verdicts, and
-   [unsafe-shared-state]) plus its domain-safety certificates.
+   [unsafe-shared-state]) plus its domain-safety certificates, and —
+   with [--spg] — the slowness-propagation pass (static exposure of
+   every wait site to fail-slow resources: [red-exposure],
+   [unreached-mitigation]) plus its propagation certificates.
 
    Exit discipline: 0 when nothing gates, 1 when findings gate, 2 on
    usage errors. By default only unallowed [error]-severity findings
@@ -18,7 +21,7 @@
 
 let usage =
   "usage: depfast_lint [--quiet] [--strict] [--interproc] [--bounds] [--domains] \
-   [--format text|json] [--rules] [path ...]"
+   [--spg] [--format text|json] [--rules] [path ...]"
 
 let rec walk path acc =
   if Sys.is_directory path then
@@ -38,6 +41,7 @@ let () =
   let interproc = ref false in
   let bounds = ref false in
   let domains = ref false in
+  let spg = ref false in
   let format = ref `Text in
   let paths = ref [] in
   let show_rules = ref false in
@@ -61,6 +65,7 @@ let () =
           | "--interproc" -> interproc := true
           | "--bounds" -> bounds := true
           | "--domains" -> domains := true
+          | "--spg" -> spg := true
           | "--format" -> expect_format := true
           | "--rules" -> show_rules := true
           | "--help" | "-h" ->
@@ -112,7 +117,14 @@ let () =
     end
     else (tagged, [])
   in
-  let certs = bcerts @ dcerts in
+  let tagged, scerts =
+    if !spg then begin
+      let fs, certs, _exposures = Analysis.Spg_static.analyze_files files in
+      (tagged @ List.map (fun f -> ("spg", f)) fs, certs)
+    end
+    else (tagged, [])
+  in
+  let certs = bcerts @ dcerts @ scerts in
   let tagged =
     List.stable_sort (fun (_, a) (_, b) -> Analysis.Finding.by_location a b) tagged
   in
@@ -141,7 +153,7 @@ let () =
         if not (!quiet && f.Analysis.Finding.allowed) then
           print_endline (Analysis.Finding.to_string f))
       findings;
-    Printf.printf "depfast-lint: %d file(s), %d finding(s), %d unallowed, %d gating%s%s%s\n"
+    Printf.printf "depfast-lint: %d file(s), %d finding(s), %d unallowed, %d gating%s%s%s%s\n"
       (List.length files) (List.length findings) (List.length unallowed)
       (List.length gating)
       (if !interproc then " [interproc]" else "")
@@ -153,13 +165,26 @@ let () =
          Printf.sprintf " [domains: %d cell(s), %d unsafe]" (List.length dcerts)
            (List.length unsafe_cells)
        else "")
+      (if !spg then
+         let waits, props =
+           List.partition (fun c -> c.Analysis.Growth.c_kind = "wait") scerts
+         in
+         let red =
+           List.filter
+             (fun c -> c.Analysis.Growth.c_verdict = Analysis.Growth.Flagged)
+             waits
+         in
+         Printf.sprintf " [spg: %d wait site(s), %d propagation edge(s), %d red-uncovered]"
+           (List.length waits) (List.length props) (List.length red)
+       else "")
   | `Json ->
     (* one JSON document: summary + findings array, one finding per line *)
     Printf.printf
       "{ \"files\": %d, \"findings\": %d, \"unallowed\": %d, \"gating\": %d, \
-       \"interproc\": %b, \"bounds\": %b, \"domains\": %b, \"strict\": %b, \"results\": [\n"
+       \"interproc\": %b, \"bounds\": %b, \"domains\": %b, \"spg\": %b, \"strict\": %b, \
+       \"results\": [\n"
       (List.length files) (List.length findings) (List.length unallowed)
-      (List.length gating) !interproc !bounds !domains !strict;
+      (List.length gating) !interproc !bounds !domains !spg !strict;
     let shown =
       if !quiet then
         List.filter (fun ((_, f) : _ * Analysis.Finding.t) -> not f.Analysis.Finding.allowed) tagged
@@ -175,7 +200,7 @@ let () =
           pass body
           (if i < List.length shown - 1 then "," else ""))
       shown;
-    if !bounds || !domains then begin
+    if !bounds || !domains || !spg then begin
       Printf.printf "], \"certificates\": [\n";
       List.iteri
         (fun i c ->

@@ -31,6 +31,11 @@ let unbounded_retry = "unbounded-retry"
 (* domain-safety rule (the depfast-domains pass) *)
 let unsafe_shared_state = "unsafe-shared-state"
 
+(* slowness-propagation rules (the depfast-spg pass) *)
+let red_exposure = "red-exposure"
+let unreached_mitigation = "unreached-mitigation"
+let spg_stale_edge = "spg-stale-edge"
+
 (* dynamic rules, reported by the schedule-space checker (lib/check) *)
 let lost_wakeup = "lost-wakeup"
 let double_wake = "double-wake"
@@ -66,6 +71,15 @@ let rules =
     (unsafe_shared_state,
      "top-level mutable cell written outside any Mutex region or owner record: \
       unsafe to share across OCaml 5 domains");
+    (red_exposure,
+     "fate-sharing wait statically reachable from a fail-slow resource site \
+      with no timeout escape on the waiting function");
+    (unreached_mitigation,
+     "wait claims quorum-k green but its Count arity flows from a value \
+      tainted by a fail-slow resource");
+    (spg_stale_edge,
+     "static red exposure for the injected fault kind never observed as a \
+      red SPG edge across the explored schedules (possible stale certificate)");
     (lost_wakeup, "coroutine parked on an event that is ready, with no wakeup delivered");
     (double_wake, "more than one wakeup delivered for a single park");
     (parked_on_abandoned, "coroutine parked forever on an abandoned event");

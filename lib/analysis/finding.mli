@@ -83,6 +83,27 @@ val unsafe_shared_state : string
     a data race waiting to happen once the tree runs on OCaml 5
     domains. *)
 
+val red_exposure : string
+(** Slowness propagation (the depfast-spg pass): a fate-sharing wait —
+    red in the {!Spg.color} sense — whose enclosing function is
+    statically reachable from a fail-slow resource site (disk, net,
+    declared CPU cost, or remote-triggered growth) and carries no
+    timeout escape: the static blast radius of that resource includes
+    this wait, with nothing bounding the delay. *)
+
+val unreached_mitigation : string
+(** A wait whose certificate claims quorum-k green, but whose
+    [Count k] arity flows from a value produced by a tainted function:
+    the mitigation (waiting for only k of n) is itself controlled by
+    the slow resource, so the green claim is unreached. *)
+
+val spg_stale_edge : string
+(** Dynamic staleness cross-check: a module carries a static red
+    exposure for the injected fault kind, yet no explored schedule
+    ever observed a red SPG edge there. Non-gating — over-approximate
+    static edges are expected — but worth an eye for dead mitigation
+    paths or over-wide summaries. *)
+
 (** Dynamic rules, reported by the schedule-space checker ([lib/check])
     rather than by a static pass. *)
 

@@ -73,8 +73,9 @@ let handle_append t b ~entries ~commit =
         (cfg.Raft.Config.cost_follower_fixed + (n * cfg.Raft.Config.cost_follower_entry));
       Common.follower_append_a b entries;
       if n > 0 then
-        (* depfast-lint: allow lock-across-wait — deliberate baseline defect:
-           the chain holds its append lock across WAL durability (Table 1) *)
+        (* depfast-lint: allow lock-across-wait red-exposure — deliberate
+           baseline defect: the chain holds its append lock across WAL
+           durability (Table 1), fate-sharing with its own slow disk *)
         Depfast.Sched.wait b.Common.sched
           (Common.wal_append b ~bytes:(Common.wal_bytes_a b entries));
       Common.set_commit b commit;
@@ -120,6 +121,8 @@ let head_loop t =
       if n > 0 then begin
         Cluster.Node.cpu_work b.Common.node
           (cfg.Raft.Config.cost_round_fixed + (n * cfg.Raft.Config.cost_marshal_entry));
+        (* depfast-lint: allow red-exposure — own-WAL durability wait:
+           synchronous commit is the chain baseline's protocol *)
         Depfast.Sched.wait b.Common.sched
           (Common.wal_append b ~bytes:(Common.wal_bytes_a b entries));
         forward t b entries

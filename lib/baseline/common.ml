@@ -159,6 +159,8 @@ let applier_loop b =
           loop ()
       end
       else begin
+        (* depfast-lint: allow red-exposure — applier handoff signalled by
+           the local commit path; no remote peer can stall this condvar *)
         Depfast.Condvar.wait b.sched b.commit_cv;
         loop ()
       end

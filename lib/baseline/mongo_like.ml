@@ -49,8 +49,9 @@ let handle_pull t b ~from =
       t.cold_pulls <- t.cold_pulls + 1;
       let stop = min last (from + t.catchup_max - 1) in
       let bytes = (stop - from + 1) * entry_size_estimate in
-      (* depfast-lint: allow red-wait — deliberate baseline defect: cold
-         catch-up reads block on the data disk (§2's contention source) *)
+      (* depfast-lint: allow red-wait red-exposure — deliberate baseline
+         defect: cold catch-up reads block on the data disk (§2's
+         contention source) *)
       Depfast.Sched.wait b.Common.sched
         (Cluster.Disk.read (Cluster.Node.disk b.Common.node) ~bytes);
       t.catchup_max
@@ -141,6 +142,8 @@ let oplog_writer_loop t =
       if n > 0 then begin
         Cluster.Node.cpu_work b.Common.node
           (cfg.Raft.Config.cost_round_fixed + (n * cfg.Raft.Config.cost_marshal_entry));
+        (* depfast-lint: allow red-exposure — own-oplog durability wait:
+           the single writer loop serialises on its local disk by design *)
         Depfast.Sched.wait b.Common.sched
           (Common.wal_append b ~bytes:(Common.wal_bytes b entries))
       end;
@@ -179,6 +182,8 @@ let puller_loop t b =
               (cfg.Raft.Config.cost_follower_fixed
               + (n * cfg.Raft.Config.cost_follower_entry));
             Common.follower_append b entries;
+            (* depfast-lint: allow red-exposure — follower persists pulled
+               entries to its own WAL before acking; local disk only *)
             Depfast.Sched.wait b.Common.sched
               (Common.wal_append b ~bytes:(Common.wal_bytes b entries));
             Common.set_commit b commit;

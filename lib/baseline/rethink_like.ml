@@ -53,8 +53,9 @@ let handle_append_entries b ~prev_index ~entries ~commit =
       else begin
         Common.follower_append_a b entries;
         if Array.length entries > 0 then
-          (* depfast-lint: allow lock-across-wait — deliberate baseline
-             defect: the RethinkDB coroutine-lock hazard from §2 *)
+          (* depfast-lint: allow lock-across-wait red-exposure — deliberate
+             baseline defect: the RethinkDB coroutine-lock hazard from §2,
+             fate-sharing the lock holder with its own slow WAL *)
           Depfast.Sched.wait b.Common.sched
             (Common.wal_append b ~bytes:(Common.wal_bytes_a b entries));
         Common.set_commit b commit;
@@ -116,6 +117,8 @@ let drainer_loop t f =
   let rec loop () =
     if Common.alive b then begin
       if Queue.is_empty buf.entries || !outstanding >= window_bytes then begin
+        (* depfast-lint: allow red-exposure — drain handoff signalled by the
+           local buffer producer; idling here is the intended backpressure *)
         Depfast.Condvar.wait b.Common.sched buf.drain_cv;
         loop ()
       end

@@ -52,8 +52,9 @@ let handle_append_entries b ~prev_index ~entries ~commit =
       else begin
         Common.follower_append_a b entries;
         if Array.length entries > 0 then
-          (* depfast-lint: allow lock-across-wait — deliberate baseline
-             defect: raftstore holds the region lock across WAL fsync *)
+          (* depfast-lint: allow lock-across-wait red-exposure — deliberate
+             baseline defect: raftstore holds the region lock across WAL
+             fsync, fate-sharing every contender with the local disk *)
           Depfast.Sched.wait b.Common.sched
             (Common.wal_append b ~bytes:(Common.wal_bytes_a b entries));
         Common.set_commit b commit;
@@ -106,8 +107,9 @@ let prep_and_send t f =
          from disk, blocking the whole region thread (the bug) *)
       t.blocked_disk_reads <- t.blocked_disk_reads + 1;
       let bytes = (stop - from + 1) * entry_size_estimate in
-      (* depfast-lint: allow red-wait — deliberate baseline defect: the
-         TiDB EntryCache miss blocks message prep on a disk read (§2) *)
+      (* depfast-lint: allow red-wait red-exposure — deliberate baseline
+         defect: the TiDB EntryCache miss blocks message prep on a disk
+         read (§2) *)
       Depfast.Sched.wait b.Common.sched
         (Cluster.Disk.read (Cluster.Node.disk b.Common.node) ~bytes)
     end;
@@ -157,7 +159,8 @@ let raftstore_loop t =
       if n > 0 then begin
         Cluster.Node.cpu_work b.Common.node
           (cfg.Raft.Config.cost_round_fixed + (n * cfg.Raft.Config.cost_marshal_entry));
-        (* raft log sync happens in the store loop, synchronously *)
+        (* raft log sync happens in the store loop, synchronously;
+           depfast-lint: allow red-exposure — own-WAL durability wait *)
         Depfast.Sched.wait b.Common.sched
           (Common.wal_append b ~bytes:(Common.wal_bytes b entries))
       end;

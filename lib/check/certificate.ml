@@ -34,9 +34,13 @@ type t = {
          pragma acknowledges the race, it does not make the cell
          domain-safe, so the parallel explorer must not run such a
          file's scenarios concurrently *)
+  exposure : (string, (string * string) list) Hashtbl.t;
+      (* per-file static SPG exposure from the depfast-spg pass:
+         (fault-kind name, wait color) pairs — the blast radius the
+         dynamic cross-check compares observed edges against *)
 }
 
-let of_findings ~files findings =
+let of_findings ?(exposures = []) ~files findings =
   let t =
     {
       files = Hashtbl.create 64;
@@ -44,9 +48,11 @@ let of_findings ~files findings =
       growth_flagged = Hashtbl.create 16;
       footprints = Hashtbl.create 64;
       unsafe_shared = Hashtbl.create 16;
+      exposure = Hashtbl.create 16;
     }
   in
   List.iter (fun f -> Hashtbl.replace t.files f ()) files;
+  List.iter (fun (path, xs) -> Hashtbl.replace t.exposure path xs) exposures;
   List.iter
     (fun (f : Analysis.Finding.t) ->
       match f.Analysis.Finding.loc with
@@ -84,14 +90,15 @@ let build ~roots () =
   let sources = List.map (fun p -> (p, read_file p)) files in
   let bounds_findings, _certs = Analysis.Bounds.analyze_sources sources in
   let domains_findings, _dcerts, footprints = Analysis.Domains.analyze_sources sources in
+  let spg_findings, _scerts, exposures = Analysis.Spg_static.analyze_sources sources in
   let findings =
     Analysis.Interproc.analyze_sources sources
     @ List.concat_map
         (fun (p, src) -> Analysis.Source_lint.lint_string ~path:p src)
         sources
-    @ bounds_findings @ domains_findings
+    @ bounds_findings @ domains_findings @ spg_findings
   in
-  let t = of_findings ~files findings in
+  let t = of_findings ~exposures ~files findings in
   List.iter (fun (path, fp) -> Hashtbl.replace t.footprints path fp) footprints;
   t
 
@@ -112,6 +119,34 @@ let mem_by_suffix tbl file =
     tbl false
 
 let covered t file = mem_by_suffix t.files file
+
+(* [Cluster.Fault.kind] -> the depfast-spg fault-name it maps onto.
+   Contention variants propagate through the same resource as their
+   slow siblings, so they share an exposure key. *)
+let fault_key = function
+  | Cluster.Fault.Cpu_slow | Cluster.Fault.Cpu_contention -> "cpu-slow"
+  | Cluster.Fault.Disk_slow | Cluster.Fault.Disk_contention -> "disk-slow"
+  | Cluster.Fault.Mem_contention -> "memory"
+  | Cluster.Fault.Net_slow -> "net-slow"
+
+let exposure_by_suffix t file =
+  Hashtbl.fold
+    (fun path xs acc ->
+      if suffix_matches ~path ~suffix:file || suffix_matches ~path:file ~suffix:path then
+        xs @ acc
+      else acc)
+    t.exposure []
+
+let exposed t ~file ~kind =
+  let key = fault_key kind in
+  List.exists (fun (k, _color) -> k = key) (exposure_by_suffix t file)
+
+let red_exposed t ~file ~kind =
+  let key = fault_key kind in
+  List.exists (fun (k, color) -> k = key && color = "red") (exposure_by_suffix t file)
+
+let exposure_count t =
+  Hashtbl.fold (fun _ xs acc -> acc + List.length xs) t.exposure 0
 let clean t file = covered t file && not (mem_by_suffix t.flagged file)
 let bounded_clean t file = covered t file && not (mem_by_suffix t.growth_flagged file)
 let domain_clean t file = not (mem_by_suffix t.unsafe_shared file)

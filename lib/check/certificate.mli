@@ -19,8 +19,15 @@ val build : roots:string list -> unit -> t
     {!Analysis.Domains}), and record per-file verdicts plus the per-file
     effect footprints feeding {!independent}. *)
 
-val of_findings : files:string list -> Analysis.Finding.t list -> t
-(** Assemble a certificate from already-computed findings (for tests). *)
+val of_findings :
+  ?exposures:(string * (string * string) list) list ->
+  files:string list ->
+  Analysis.Finding.t list ->
+  t
+(** Assemble a certificate from already-computed findings (for tests).
+    [exposures] is the per-file static SPG exposure map in
+    {!Analysis.Spg_static.analyze_sources} shape: [(path, (fault-name,
+    color) pairs)]. *)
 
 val covered : t -> string -> bool
 (** Was this file part of the certified set? Paths are compared by suffix,
@@ -51,6 +58,24 @@ val independent : t -> string -> string -> bool
     uses a [true] here to drop same-node transition pairs from the
     persistent set, and its sanitizer probes cross-check the claim
     dynamically. Paths are compared by suffix, like {!covered}. *)
+
+val fault_key : Cluster.Fault.kind -> string
+(** The depfast-spg fault-name an injectable fault maps onto
+    (contention variants share their slow sibling's key):
+    ["cpu-slow" | "disk-slow" | "memory" | "net-slow"]. *)
+
+val exposed : t -> file:string -> kind:Cluster.Fault.kind -> bool
+(** Does the static SPG exposure map give this file {e any} wait
+    exposed to this fault kind? The dynamic cross-check escalates to
+    [certificate-mismatch] when an observed propagation edge lands in a
+    covered file with no such exposure. Paths compared by suffix. *)
+
+val red_exposed : t -> file:string -> kind:Cluster.Fault.kind -> bool
+(** Like {!exposed}, but only counting fate-sharing (red) waits — the
+    staleness check reports static red exposures never observed red. *)
+
+val exposure_count : t -> int
+(** Total (file, fault, color) exposure entries recorded. *)
 
 val flagged_files : t -> string list
 (** Certified-set files carrying at least one unallowed wait finding,

@@ -46,6 +46,10 @@ type run = {
   r_overflows : Sanitizer.overflow list;  (* gauges past their declared cap *)
   r_probes : (string * string * string list) list;
       (* probe label, owning file, files observed mutating the cell *)
+  r_spg_edges : (string * Depfast.Spg.edge) list;
+      (* observed SPG edges attributed (via provenance) to the source
+         file whose coroutine waited; only collected when the scenario
+         injects a fault, for the static-exposure cross-check *)
   r_tag_file : Engine.tag -> string option;
       (* scenario provenance of a transition tag, via this run's monitor
          (coroutine ids are run-local, so the mapping is too) *)
@@ -151,6 +155,17 @@ let run_one (scenario : Scenario.t) ~prefix ~budget =
         ~event_label:(Depfast.Trace.event_label w)
         (Printf.sprintf "wait stallable by node %d alone" v.Depfast.Spg.v_peer))
     (Depfast.Spg.audit ~allow:scenario.Scenario.allow trace);
+  let spg_edges =
+    match scenario.Scenario.fault with
+    | None -> []
+    | Some _ ->
+      List.filter_map
+        (fun (coro, e) ->
+          match scenario.Scenario.provenance coro with
+          | Some file -> Some (file, e)
+          | None -> None)
+        (Depfast.Spg.waiter_edges ~allow:scenario.Scenario.allow trace)
+  in
   {
     r_steps = Array.of_list (List.rev !steps);
     r_nsteps = !nsteps;
@@ -159,6 +174,7 @@ let run_one (scenario : Scenario.t) ~prefix ~budget =
     r_violations = Sanitizer.violations san;
     r_overflows = Sanitizer.gauge_overflows san;
     r_probes = Sanitizer.probe_writers san;
+    r_spg_edges = spg_edges;
     r_tag_file = tag_file;
   }
 
@@ -236,6 +252,10 @@ type acc = {
   a_sites : (string * string * string * string, site) Hashtbl.t;
   a_overflows : (string, Sanitizer.overflow) Hashtbl.t;
   a_probes : (string, string * string list ref) Hashtbl.t;
+  a_spg : (string * Depfast.Spg.color, int) Hashtbl.t;
+      (* cumulative observed SPG edges over all schedules, keyed by
+         (waiter's source file, edge color): a keyed counted union, so
+         merging worker accumulators commutes *)
   a_indep : string -> string -> bool;
 }
 
@@ -263,6 +283,7 @@ let fresh_acc ~indep () =
     a_sites = Hashtbl.create 16;
     a_overflows = Hashtbl.create 4;
     a_probes = Hashtbl.create 4;
+    a_spg = Hashtbl.create 8;
     a_indep = indep;
   }
 
@@ -320,6 +341,12 @@ let process_item (scenario : Scenario.t) ~budget acc (prefix, lineage) =
         List.iter (fun w -> if not (List.mem w !seen) then seen := w :: !seen) writers
       | None -> Hashtbl.add acc.a_probes label (owner, ref writers))
     run.r_probes;
+  List.iter
+    (fun (file, (e : Depfast.Spg.edge)) ->
+      let key = (file, e.Depfast.Spg.color) in
+      let prev = Option.value ~default:0 (Hashtbl.find_opt acc.a_spg key) in
+      Hashtbl.replace acc.a_spg key (prev + e.Depfast.Spg.count))
+    run.r_spg_edges;
   (* per-run conflict relation: the node heuristic, refined on same-node
      pairs by the certificate feed when both tags trace to source files *)
   let conflict a b =
@@ -392,7 +419,12 @@ let merge_into dst src =
       | Some (_, seen) ->
         List.iter (fun w -> if not (List.mem w !seen) then seen := w :: !seen) !writers
       | None -> Hashtbl.add dst.a_probes label (owner, ref !writers))
-    src.a_probes
+    src.a_probes;
+  Hashtbl.iter
+    (fun key n ->
+      let prev = Option.value ~default:0 (Hashtbl.find_opt dst.a_spg key) in
+      Hashtbl.replace dst.a_spg key (prev + n))
+    src.a_spg
 
 (* Build the report from a merged accumulator. Site "first" numbers are
    ranks in the canonical order over all explored prefixes; every list
@@ -488,10 +520,65 @@ let finalize (scenario : Scenario.t) ~certs ~indep ~complete acc =
                  files)
              files)
   in
+  (* the slowness-propagation cross-check: every observed SPG edge must
+     land inside the static exposure set for the injected fault kind —
+     an edge in a covered file with no such exposure means the static
+     taint missed a flow (escaped alias, unscanned producer) and is a
+     certificate-mismatch. The converse — a static red exposure for the
+     kind never observed red across the explored schedules — is only a
+     staleness warning: static edges over-approximate by design. *)
+  let spg_mismatches, spg_stale =
+    match (certs, scenario.Scenario.fault) with
+    | Some certs, Some kind ->
+      let observed = Hashtbl.fold (fun k n l -> (k, n) :: l) acc.a_spg [] in
+      let observed_files =
+        List.sort_uniq compare (List.map (fun ((f, _), _) -> f) observed)
+      in
+      let mismatches =
+        List.filter_map
+          (fun file ->
+            if Certificate.covered certs file && not (Certificate.exposed certs ~file ~kind)
+            then
+              Some
+                (Analysis.Finding.v ~rule:Analysis.Finding.certificate_mismatch
+                   ~severity:Analysis.Finding.Error
+                   ~loc:(Analysis.Finding.File { file; line = 0 })
+                   (Printf.sprintf
+                      "%s: observed a slowness-propagation edge from a wait in %s \
+                       under an injected %s fault, but the static exposure map gives \
+                       %s no %s exposure at all — the taint analysis missed a flow"
+                      scenario.Scenario.name file
+                      (Cluster.Fault.name kind)
+                      file (Certificate.fault_key kind)))
+            else None)
+          observed_files
+      in
+      let observed_red f =
+        List.exists (fun ((file, c), _) -> file = f && c = Depfast.Spg.Red) observed
+      in
+      let stale =
+        List.filter_map
+          (fun file ->
+            if Certificate.red_exposed certs ~file ~kind && not (observed_red file) then
+              Some
+                (Analysis.Finding.v ~rule:Analysis.Finding.spg_stale_edge
+                   ~severity:Analysis.Finding.Warning
+                   ~loc:(Analysis.Finding.File { file; line = 0 })
+                   (Printf.sprintf
+                      "%s: %s carries a static red %s exposure, but no explored \
+                       schedule observed a red propagation edge there — possibly a \
+                       stale certificate or an unexercised path"
+                      scenario.Scenario.name file (Certificate.fault_key kind)))
+            else None)
+          (List.sort_uniq compare scenario.Scenario.modules)
+      in
+      (mismatches, stale)
+    | _ -> ([], [])
+  in
   let findings =
     List.map (fun s -> finding_of_site scenario.Scenario.name ~first:(first_of s) s)
       dynamic
-    @ mismatches @ gauge_mismatches @ probe_mismatches
+    @ mismatches @ gauge_mismatches @ probe_mismatches @ spg_mismatches @ spg_stale
     |> List.sort_uniq (fun a b ->
            let c = Analysis.Finding.by_location a b in
            if c <> 0 then c else compare a b)

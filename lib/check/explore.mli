@@ -44,6 +44,10 @@ type run = {
       (** queue-depth gauges whose watermark passed the declared cap *)
   r_probes : (string * string * string list) list;
       (** probe label, owning file, files observed mutating the cell *)
+  r_spg_edges : (string * Depfast.Spg.edge) list;
+      (** observed slowness-propagation edges attributed (via the
+          scenario's provenance map) to the waiter's source file; only
+          collected when the scenario injects a fault *)
   r_tag_file : Sim.Engine.tag -> string option;
       (** scenario provenance of a transition tag, via this run's monitor *)
 }

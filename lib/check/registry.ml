@@ -13,9 +13,11 @@ let reg_file = "lib/check/registry.ml"
 let fixtures_file = "lib/check/fixtures.ml"
 let fixture_dom_a_file = "lib/check/fixture_dom_a.ml"
 let fixture_dom_b_file = "lib/check/fixture_dom_b.ml"
+let fixture_spg_file = "lib/check/fixture_spg.ml"
 
 let core_provenance name =
   if has_prefix ~prefix:"fx." name then Some fixtures_file
+  else if has_prefix ~prefix:"sg." name then Some fixture_spg_file
   else if
     List.exists
       (fun p -> has_prefix ~prefix:p name)
@@ -48,6 +50,7 @@ let yield_storm =
     modules = [ reg_file ];
     par_safe = true;
     default_schedules = 7000;
+    fault = None;
     allow = allow_none;
     provenance = core_provenance;
     make =
@@ -80,6 +83,7 @@ let mutex_handoff =
     modules = [ reg_file; "lib/core/mutex.ml" ];
     par_safe = true;
     default_schedules = 2500;
+    fault = None;
     allow = allow_none;
     provenance = core_provenance;
     make =
@@ -121,6 +125,7 @@ let condvar_handshake =
     modules = [ reg_file; "lib/core/condvar.ml"; "lib/core/mutex.ml" ];
     par_safe = true;
     default_schedules = 2500;
+    fault = None;
     allow = allow_none;
     provenance = core_provenance;
     make =
@@ -170,6 +175,7 @@ let signal_fanout =
     modules = [ reg_file; "lib/core/sched.ml" ];
     par_safe = true;
     default_schedules = 1000;
+    fault = None;
     allow = allow_none;
     provenance = core_provenance;
     make =
@@ -212,6 +218,7 @@ let quorum_majority =
     modules = [ reg_file; "lib/core/event.ml" ];
     par_safe = true;
     default_schedules = 2500;
+    fault = None;
     allow = allow_none;
     provenance = core_provenance;
     make =
@@ -257,6 +264,7 @@ let broken_quorum =
     modules = [ fixtures_file ];
     par_safe = true;
     default_schedules = 1000;
+    fault = None;
     allow = allow_none;
     provenance = core_provenance;
     make =
@@ -279,6 +287,7 @@ let leaky_backlog =
     modules = [ fixtures_file ];
     par_safe = false;
     default_schedules = 200;
+    fault = None;
     allow = allow_none;
     provenance = core_provenance;
     make =
@@ -288,6 +297,33 @@ let leaky_backlog =
            pending timer keeps the terminal state non-quiescent, so the
            parked consumer is the scenario's point, not a violation *)
         { until = Some (Sim.Time.ms 10); check = (fun () -> []) });
+  }
+
+let spg_alias_blindspot =
+  {
+    name = "spg-alias-blindspot";
+    descr =
+      "deliberately seeded certificate mismatch: a net-slow completion event \
+       escapes through a module-level mailbox to a bare waiter the static \
+       call graph never connects to the source, so the observed propagation \
+       edge lands outside the static exposure set";
+    exhaustive = true;
+    gating = false;
+    (* a known-bad fixture for the SPG cross-check: explored on demand
+       and by the test suite, not part of the CI gate *)
+    modules = [ fixture_spg_file ];
+    par_safe = false;
+    default_schedules = 200;
+    (* the injected kind the observed edges are attributed to; the
+       fixture file has no static net-slow exposure, so any observed
+       edge is outside the blast radius *)
+    fault = Some Cluster.Fault.Net_slow;
+    allow = allow_none;
+    provenance = core_provenance;
+    make =
+      (fun _san sched ->
+        Fixture_spg.spawn sched;
+        { until = None; check = (fun () -> []) });
   }
 
 let domains_disjoint =
@@ -302,6 +338,7 @@ let domains_disjoint =
     modules = [ fixture_dom_a_file; fixture_dom_b_file ];
     par_safe = false;
     default_schedules = 400;
+    fault = None;
     allow = allow_none;
     provenance = dom_provenance;
     make =
@@ -342,6 +379,7 @@ let domains_false_independence =
     modules = [ fixture_dom_a_file; fixture_dom_b_file ];
     par_safe = false;
     default_schedules = 200;
+    fault = None;
     allow = allow_none;
     provenance = dom_provenance;
     make =
@@ -429,6 +467,7 @@ let raft_elect ~n ~name ~schedules ~until_ms =
     modules = [ "lib/raft/server.ml"; "lib/cluster/rpc.ml" ];
     par_safe = true;
     default_schedules = schedules;
+    fault = None;
     allow = raft_allow ~n;
     provenance = raft_provenance;
     make =
@@ -451,6 +490,7 @@ let raft_replicate_3 =
     modules = [ "lib/raft/server.ml"; "lib/raft/client.ml"; "lib/cluster/rpc.ml" ];
     par_safe = true;
     default_schedules = 500;
+    fault = None;
     allow = raft_allow ~n:3;
     provenance = raft_provenance;
     make =
@@ -472,6 +512,7 @@ let raft_partition_heal_3 =
     modules = [ "lib/raft/server.ml"; "lib/cluster/rpc.ml"; "lib/cluster/net.ml" ];
     par_safe = true;
     default_schedules = 300;
+    fault = None;
     allow = raft_allow ~n:3;
     provenance = raft_provenance;
     make =
@@ -499,6 +540,7 @@ let raft_rewind_3 =
     modules = [ "lib/raft/server.ml"; "lib/raft/client.ml"; "lib/cluster/rpc.ml" ];
     par_safe = true;
     default_schedules = 300;
+    fault = None;
     allow = raft_allow ~n:3;
     provenance = raft_provenance;
     make =
@@ -533,6 +575,9 @@ let raft_slow_disk_admission_3 =
     modules = [ "lib/raft/server.ml"; "lib/raft/client.ml"; "lib/cluster/rpc.ml" ];
     par_safe = true;
     default_schedules = 150;
+    (* the injected fault feeds the SPG cross-check: observed propagation
+       edges must land inside the static disk-slow exposure set *)
+    fault = Some Cluster.Fault.Disk_slow;
     allow = raft_allow ~n:3;
     provenance = raft_provenance;
     make =
@@ -543,7 +588,10 @@ let raft_slow_disk_admission_3 =
         Sanitizer.add_gauge san ~label:"raft.pending" ~file:"lib/raft/server.ml"
           ~cap:admission_depth (fun () -> Raft.Server.pending_depth leader);
         let clients = Raft.Group.make_clients g ~count:8 () in
-        Depfast.Sched.spawn sched ~node:0 ~name:"drv.slowdisk" (fun () ->
+        (* named into the raft. provenance prefix: this driver's only
+           waits happen inside Server election code, so the SPG edges it
+           observes belong to lib/raft/server.ml, not this file *)
+        Depfast.Sched.spawn sched ~node:0 ~name:"raft.drv-slowdisk" (fun () ->
             Raft.Group.elect g 0;
             (* fail-slow, not fail-stop: every leader-disk I/O takes 40x *)
             Cluster.Station.set_penalty
@@ -570,6 +618,7 @@ let all =
     quorum_majority;
     broken_quorum;
     leaky_backlog;
+    spg_alias_blindspot;
     domains_disjoint;
     domains_false_independence;
     raft_elect_3;

@@ -26,6 +26,10 @@ type t = {
          concurrently on separate domains. Scenarios seeded through
          process-global fixture cells must say false *)
   default_schedules : int;  (* per-scenario schedule budget in `all` runs *)
+  fault : Cluster.Fault.kind option;
+      (* the fail-slow fault this scenario injects, if any: runs feed
+         their observed SPG edges into the static-exposure cross-check
+         attributed to this kind *)
   allow : node:int -> bool;  (* Spg.audit exemption (clients) *)
   provenance : string -> string option;
       (* coroutine name -> source file implementing it, for the

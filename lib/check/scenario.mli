@@ -30,6 +30,13 @@ type t = {
           through process-global fixture cells must say false — the
           explorer forces such scenarios back to one domain *)
   default_schedules : int;  (** per-scenario schedule budget in [all] runs *)
+  fault : Cluster.Fault.kind option;
+      (** the fail-slow fault this scenario injects, if any. When set,
+          every explored run's observed SPG edges are folded into the
+          cumulative per-kind edge set and cross-checked against the
+          static exposure map ({!Certificate.exposed}): an observed
+          propagation edge outside the static blast radius escalates to
+          [certificate-mismatch] *)
   allow : node:int -> bool;  (** [Spg.audit] exemption (clients) *)
   provenance : string -> string option;
       (** coroutine name -> source file implementing it, for the

@@ -65,6 +65,8 @@ let start_disk_contender active =
     Node.spawn node ~name:"disk-contender" (fun () ->
         let rec loop () =
           if (not active.stopped) && Node.alive node then begin
+            (* depfast-lint: allow red-exposure — the contender exists to
+               occupy the slow disk; stalling on it is the injection *)
             Depfast.Sched.wait sched (Disk.write (Node.disk node) ~bytes:(256 * 1024));
             loop ()
           end

@@ -46,5 +46,7 @@ let cpu_work_event t work =
   if not t.alive then Depfast.Event.signal ~label:"dead" ()
   else Station.submit t.cpu ~work ()
 
+(* depfast-lint: allow red-exposure — this IS the declared cost-model
+   wait: every cpu-slow exposure in the tree is seeded here *)
 let cpu_work t work = Depfast.Sched.wait t.sched (cpu_work_event t work)
 let spawn t ?name f = Depfast.Sched.spawn t.sched ~node:t.id ?name f

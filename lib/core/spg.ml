@@ -34,6 +34,34 @@ let edges t =
   |> List.sort (fun a b ->
          compare (a.src, a.dst, a.quorum_k, a.quorum_n) (b.src, b.dst, b.quorum_k, b.quorum_n))
 
+(* Per-waiter edges: the same aggregation as {!of_trace}/{!edges}, but
+   keyed by the waiting coroutine's name so a checker can attribute an
+   observed propagation edge back to the code that waited. [allow]
+   exempts waiter nodes exactly as in {!audit}. *)
+let waiter_edges ?(allow = fun ~node:_ -> false) trace =
+  let tbl = Hashtbl.create 64 in
+  Trace.iter trace (fun w ->
+      if not (allow ~node:w.Trace.node) then begin
+        let k = w.Trace.quorum_k and n = w.Trace.quorum_n in
+        List.iter
+          (fun peer ->
+            if peer <> w.Trace.node then begin
+              let key = (w.Trace.coroutine, w.Trace.node, peer, k, n) in
+              let prev = Option.value ~default:0 (Hashtbl.find_opt tbl key) in
+              Hashtbl.replace tbl key (prev + 1)
+            end)
+          (Trace.peers w)
+      end);
+  Hashtbl.fold
+    (fun (coroutine, src, dst, quorum_k, quorum_n) count acc ->
+      let color = if quorum_k >= quorum_n then Red else Green in
+      (coroutine, { src; dst; quorum_k; quorum_n; color; count }) :: acc)
+    tbl []
+  |> List.sort (fun (ca, a) (cb, b) ->
+         compare
+           (ca, a.src, a.dst, a.quorum_k, a.quorum_n)
+           (cb, b.src, b.dst, b.quorum_k, b.quorum_n))
+
 let nodes t =
   let seen = Hashtbl.create 16 in
   Hashtbl.iter

@@ -34,6 +34,13 @@ val edges : t -> edge list
 
 val nodes : t -> int list
 
+val waiter_edges : ?allow:(node:int -> bool) -> Trace.t -> (string * edge) list
+(** The same aggregation as {!of_trace} + {!edges}, but keyed by the
+    waiting coroutine's name, so a checker can attribute an observed
+    propagation edge back to the code that waited; sorted by
+    (coroutine, edge key). [allow ~node] exempts waiter nodes as in
+    {!audit} (e.g. clients that by design wait on the leader). *)
+
 val to_dot : ?node_name:(int -> string) -> t -> string
 (** Graphviz rendering; red/green edge colors as in Figure 2. *)
 

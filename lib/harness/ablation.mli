@@ -1,0 +1,36 @@
+(** Ablations for the design choices DESIGN.md calls out.
+
+    A1 — {e quorum wait vs wait-for-all}: replace DepFastRaft's majority
+    arity with wait-for-everyone ([replication_arity = `All]). Under a CPU
+    fail-slow follower the "all" variant degrades like the baselines,
+    showing the QuorumEvent is what buys the tolerance.
+
+    A2 — {e EntryCache size} in the TiDB-like baseline: with a cache large
+    enough that nothing is evicted, the blocking disk reads disappear and
+    so does most of the degradation — isolating the diagnosed root cause.
+
+    A3 — {e framework-aware broadcast} (§2.3): with straggler discarding
+    off, abandoned-call buffers for a slow follower are never released and
+    the leader's outstanding-RPC memory grows; with it on, it stays flat.
+
+    A4 — {e chain replication vs quorum replication} (§3.3's tradeoff):
+    the same three nodes, workload, and CPU fail-slow fault, but writes
+    flow through a chain whose every link is a 1/1 wait. *)
+
+type row = { label : string; fault : string; metrics : Workload.Metrics.t }
+
+val quorum_vs_all : ?params:Params.t -> unit -> row list
+(** A1: majority vs wait-for-all arity, no-fault and CPU-slow cells. *)
+
+val entry_cache : ?params:Params.t -> unit -> row list
+(** A2: TiDB-like with default (evicting) vs effectively infinite cache;
+    each row's label carries the observed blocking disk-read count. *)
+
+val discard_stragglers : ?params:Params.t -> unit -> (string * int * int) list
+(** A3: [(label, peak outstanding bytes, discarded responses)] for a
+    stream of majority broadcasts with one fail-slow replica. *)
+
+val chain_vs_quorum : ?params:Params.t -> unit -> row list
+(** A4: chain replication vs DepFastRaft under a fail-slow middle node. *)
+
+val print : ?params:Params.t -> unit -> unit

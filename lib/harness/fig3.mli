@@ -1,0 +1,29 @@
+(** Figure 3: DepFastRaft with a minority of fail-slow followers, 3-node
+    and 5-node deployments — absolute throughput / average latency / P99.
+
+    The paper's §3.4 claim: all three metrics stay within a 5% band of
+    the no-fault baseline, at a base throughput around 5K
+    requests/second. *)
+
+type row = {
+  n : int;
+  fault : Cluster.Fault.kind option;
+  metrics : Workload.Metrics.t;
+  drift_tput : float;  (** (value - baseline) / baseline *)
+  drift_mean : float;
+  drift_p99 : float;
+}
+
+val minority : int -> int
+(** Largest follower count that still leaves a working majority. *)
+
+val run_setup :
+  ?params:Params.t -> ?cfg:Raft.Config.t -> n:int -> unit -> row list
+(** The no-fault baseline row plus one row per fault kind, all injected
+    into a minority of followers of an [n]-node group. *)
+
+val run : ?params:Params.t -> ?cfg:Raft.Config.t -> unit -> row list
+(** {!run_setup} for the paper's 3-node and 5-node deployments. *)
+
+val print_rows : row list -> unit
+val print : ?params:Params.t -> ?cfg:Raft.Config.t -> unit -> unit

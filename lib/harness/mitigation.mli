@@ -1,0 +1,25 @@
+(** §5 extension: fail-slow leader detection + mitigation via leadership
+    transfer.
+
+    A CPU fail-slow fault is injected into the {e leader} mid-run. Without
+    mitigation, every request suffers (the known algorithmic weakness of
+    leader-based consensus — cf. Copilot). With the detector attached, the
+    commit-latency trace signal crosses the threshold, leadership transfers
+    to a healthy follower, and throughput recovers; the fail-slow node keeps
+    serving as a follower, which DepFastRaft tolerates. *)
+
+type phase = { label : string; metrics : Workload.Metrics.t }
+
+type result = {
+  variant : string;
+  phases : phase list;  (** before / during+after fault *)
+  mitigated : int;  (** leadership transfers triggered *)
+  detect_ms : float;  (** fault injection -> transfer, ms (-1 if none) *)
+}
+
+val run_variant : ?params:Params.t -> with_detector:bool -> unit -> result
+
+val run : ?params:Params.t -> unit -> result list
+(** The unmitigated variant followed by the detector variant. *)
+
+val print : ?params:Params.t -> unit -> unit

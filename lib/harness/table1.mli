@@ -1,0 +1,7 @@
+(** Table 1: the fail-slow fault-injection catalog, with both the paper's
+    injection method and this repo's simulator mapping. *)
+
+val rows : unit -> (string * string * string) list
+(** [(fault name, paper's injection, simulator mapping)] per fault kind. *)
+
+val print : unit -> unit

@@ -1,0 +1,12 @@
+(* depfast-spg fixture: the clean twin of spg_arity_bad — the quorum's
+   Count arity comes from an untainted constant function, so the green
+   verdict stands and no finding is reported. *)
+
+let majority () = 2
+
+let gather sched rpc =
+  let probe = Rpc.call rpc ~peer:1 "ping" in
+  ignore probe;
+  let n = majority () in
+  let q = Event.quorum ~label:"acks" (Event.Count n) in
+  Sched.wait sched q

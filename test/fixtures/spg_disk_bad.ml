@@ -1,0 +1,8 @@
+(* depfast-spg fixture: a disk-slow source radiating into a bare wait.
+   [Disk.write] seeds disk-slow taint in [append]; the wait on the
+   completion is fate-sharing (red) with no timeout escape, so the pass
+   must report [red-exposure] with a disk-slow x self exposure. *)
+
+let append sched disk payload =
+  let done_ = Disk.write disk payload in
+  Sched.wait sched done_

@@ -1,0 +1,9 @@
+(* depfast-spg fixture: the bounded twin of spg_disk_bad — the same
+   disk-slow exposure, but the wait carries a deadline, so the red wait
+   is covered and the pass certifies it without a finding. *)
+
+let append sched disk payload =
+  let done_ = Disk.write disk payload in
+  match Sched.wait_timeout sched done_ (Sim.Time.ms 50) with
+  | Sched.Ready -> true
+  | Sched.Timed_out -> false

@@ -1,0 +1,7 @@
+(* depfast-spg fixture: a net-slow source radiating into a bare wait on
+   a single peer's reply — the fate-sharing shape the quorum twin
+   (spg_net_ok) avoids. Expect [red-exposure] with net-slow x peer. *)
+
+let fetch sched rpc =
+  let reply = Rpc.call rpc ~peer:1 "get" in
+  Sched.wait sched reply

@@ -1,0 +1,8 @@
+(* depfast-spg fixture: the green twin of spg_net_bad — the same
+   net-slow exposure, but the wait is on the k-of-n quorum built by
+   [Rpc.broadcast], so any single slow peer is outvoted: green, no
+   finding. *)
+
+let replicate sched rpc =
+  let quorum, _calls = Rpc.broadcast rpc "append" in
+  Sched.wait sched quorum

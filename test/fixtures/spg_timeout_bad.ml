@@ -1,0 +1,9 @@
+(* depfast-spg fixture: an [Event.and_] over two peers' replies is
+   fate-sharing with BOTH of them — all children must fire — and this
+   one has no timeout escape. Expect [red-exposure] on the and_ wait. *)
+
+let settle sched rpc =
+  let a = Rpc.call rpc ~peer:1 "prepare" in
+  let b = Rpc.call rpc ~peer:2 "prepare" in
+  let both = Event.and_ [ a; b ] in
+  Sched.wait sched both

@@ -1,0 +1,10 @@
+(* depfast-spg fixture: the escaped twin of spg_timeout_bad — the same
+   all-peers conjunction, but raced against a timer via [Event.or_], so
+   the wait is green and deadline-covered: no finding. *)
+
+let settle sched rpc =
+  let a = Rpc.call rpc ~peer:1 "prepare" in
+  let b = Rpc.call rpc ~peer:2 "prepare" in
+  let both = Event.and_ [ a; b ] in
+  let guarded = Event.or_ [ both; Sched.timer sched (Sim.Time.ms 50) ] in
+  Sched.wait sched guarded

@@ -152,11 +152,11 @@ let test_tree_inventory_pinned () =
   match tree () with
   | None -> ()
   | Some (fs, certs, footprints) ->
-    check_int "every top-level mutable cell carries a certificate" 170
+    check_int "every top-level mutable cell carries a certificate" 171
       (List.length certs);
     let flagged = List.filter (fun c -> c.D.c_verdict = G.Flagged) certs in
-    Alcotest.(check (list string)) "exactly the two seeded fixture cells unsafe"
-      [ "Fixture_dom_a.track"; "Fixtures.backlog" ]
+    Alcotest.(check (list string)) "exactly the three seeded fixture cells unsafe"
+      [ "Fixture_dom_a.track"; "Fixture_spg.mailbox"; "Fixtures.backlog" ]
       (List.sort compare (List.map (fun c -> c.D.c_site) flagged));
     check_bool "both acknowledged by pragma" true (List.for_all (fun f -> f.F.allowed) fs);
     check_rules "zero unallowed unsafe-shared verdicts" []
